@@ -1,0 +1,21 @@
+"""Shared benchmark fixtures: print figure output past pytest's capture and
+persist rendered figures under benchmarks/results/."""
+
+import pathlib
+
+import pytest
+
+RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+
+
+@pytest.fixture
+def report(capsys):
+    """report(name, text): show ``text`` on the terminal and save it."""
+
+    def _report(name: str, text: str) -> None:
+        RESULTS_DIR.mkdir(exist_ok=True)
+        (RESULTS_DIR / f"{name}.txt").write_text(text + "\n")
+        with capsys.disabled():
+            print(f"\n{text}\n")
+
+    return _report

@@ -1,0 +1,51 @@
+"""Ablations of design choices the paper's text calls out (see
+repro.bench.ablations for the mapping to paper sections)."""
+
+from repro.bench.ablations import (
+    ablation_block_sweep,
+    ablation_coalescing,
+    ablation_flush,
+    ablation_incremental,
+)
+
+
+def test_ablation_coalescing(benchmark, report):
+    out = benchmark.pedantic(ablation_coalescing, rounds=1, iterations=1)
+    report("ablation_coalescing", out)
+    speed = float(out.rsplit(" ", 1)[-1].rstrip("x"))
+    assert speed > 1.0  # bulk messages amortize startup costs (§3.4)
+
+
+def test_ablation_incremental(benchmark, report):
+    out = benchmark.pedantic(ablation_incremental, rounds=1, iterations=1)
+    report("ablation_incremental", out)
+    speed = float(out.rsplit(" ", 1)[-1].rstrip("x"))
+    assert speed > 1.0  # schedule reuse beats per-iteration rebuild
+
+
+def test_ablation_flush(benchmark, report):
+    out = benchmark.pedantic(ablation_flush, rounds=1, iterations=1)
+    report("ablation_flush", out)
+    assert "useless" in out
+
+
+def test_ablation_block_sweep(benchmark, report):
+    out = benchmark.pedantic(ablation_block_sweep, rounds=1, iterations=1)
+    report("ablation_block_sweep", out)
+    # speedup at 32 B exceeds speedup at 256 B
+    lines = [l for l in out.splitlines() if l.strip() and l.split()[0].isdigit()]
+    first = float(lines[0].split()[-1])
+    last = float(lines[-1].split()[-1])
+    assert first > last
+
+
+def test_ablation_latency_sweep(benchmark, report):
+    from repro.bench.ablations import ablation_latency_sweep
+
+    out = benchmark.pedantic(ablation_latency_sweep, rounds=1, iterations=1)
+    report("ablation_latency_sweep", out)
+    lines = [l for l in out.splitlines() if l.strip() and l.split()[0].isdigit()]
+    speedups = [float(l.split()[-1]) for l in lines]
+    # §5.4: the benefit grows with remote access latency
+    assert speedups == sorted(speedups)
+    assert speedups[-1] > speedups[0] * 1.2

@@ -1,0 +1,9 @@
+"""Figure 5: Adaptive, 4 C** versions ({unopt, opt} x {32 B, 256 B})."""
+
+from repro.bench.figures import check_fig5, fig5_adaptive
+
+
+def test_fig5_adaptive(benchmark, report):
+    fig = benchmark.pedantic(fig5_adaptive, rounds=1, iterations=1)
+    report("fig5_adaptive", fig.render())
+    check_fig5(fig)

@@ -1,0 +1,9 @@
+"""Figure 6: Barnes, 5 versions ({unopt, opt} x {32 B, 1024 B} + SPMD)."""
+
+from repro.bench.figures import check_fig6, fig6_barnes
+
+
+def test_fig6_barnes(benchmark, report):
+    fig = benchmark.pedantic(fig6_barnes, rounds=1, iterations=1)
+    report("fig6_barnes", fig.render())
+    check_fig6(fig)

@@ -1,0 +1,9 @@
+"""Figure 7: Water, 3 versions (C** unopt, C** opt, Splash)."""
+
+from repro.bench.figures import check_fig7, fig7_water
+
+
+def test_fig7_water(benchmark, report):
+    fig = benchmark.pedantic(fig7_water, rounds=1, iterations=1)
+    report("fig7_water", fig.render())
+    check_fig7(fig)

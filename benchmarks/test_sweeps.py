@@ -1,0 +1,31 @@
+"""Machine-size scaling and paper-geometry spot checks (repro.bench.sweeps)."""
+
+from repro.bench.sweeps import node_scaling, paper_geometry_fig5
+
+
+def test_node_scaling(benchmark, report):
+    out = benchmark.pedantic(node_scaling, rounds=1, iterations=1)
+    report("sweep_node_scaling", out)
+    lines = [l for l in out.splitlines() if l.strip() and l.split()[0].isdigit()]
+    speedups = [float(l.split()[3]) for l in lines]
+    # the predictive protocol's advantage grows with the machine
+    assert speedups == sorted(speedups)
+    assert all(s > 1.0 for s in speedups)
+
+
+def test_paper_geometry_adaptive(benchmark, report):
+    out = benchmark.pedantic(paper_geometry_fig5, rounds=1, iterations=1)
+    report("sweep_paper_geometry", out)
+    lines = {" ".join(l.split()[:2]): l for l in out.splitlines()
+             if l.startswith(("unopt", "opt"))}
+
+    def cycles(key):
+        return float(lines[key].split()[2])
+
+    # per-version orderings stay the paper's at 32 nodes:
+    assert cycles("opt (32)") < cycles("unopt (32)")
+    assert cycles("unopt (256)") < cycles("unopt (32)")  # unopt best at 256
+    # predictive less effective at larger blocks
+    gain32 = cycles("unopt (32)") / cycles("opt (32)")
+    gain256 = cycles("unopt (256)") / cycles("opt (256)")
+    assert gain32 > gain256

@@ -1,0 +1,78 @@
+#!/usr/bin/env python3
+"""Quickstart: compile a C** program and run it under two protocols.
+
+This is the full pipeline of the paper in ~60 lines: a data-parallel C**
+program (Jacobi relaxation with an explicit neighbor stencil) is compiled —
+access-pattern analysis, the reaching-unstructured-accesses dataflow, and
+directive placement — and then executed on a simulated 8-node DSM machine
+under the plain Stache write-invalidate protocol and under the predictive
+protocol driven by the compiler's directives.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro.core import make_machine
+from repro.cstar import compile_source
+from repro.util import MachineConfig
+
+SOURCE = """
+aggregate Grid(float)[][];
+
+parallel init(Grid g parallel, float v) {
+  g[#0][#1] = v + #0 * 0.1 + #1 * 0.01;
+}
+
+// a 4-point stencil: the neighbor reads are "unstructured" to the compiler,
+// which therefore brackets each sweep with a predictive-protocol directive
+parallel sweep(Grid g parallel, Grid src, int n) {
+  if (#0 > 0 && #0 < n - 1 && #1 > 0 && #1 < n - 1) {
+    g[#0][#1] = 0.25 * (src[#0+1][#1] + src[#0-1][#1]
+                      + src[#0][#1+1] + src[#0][#1-1]);
+  }
+}
+
+main() {
+  let n = 16;
+  Grid a(16, 16);
+  Grid b(16, 16);
+  init(a, 1.0);
+  init(b, 1.0);
+  for (i = 0; i < 6; i = i + 1) {
+    sweep(a, b, n);
+    sweep(b, a, n);
+  }
+}
+"""
+
+
+def main() -> None:
+    program = compile_source(SOURCE)
+    print("--- what the compiler found ---")
+    print(program.describe())
+    print()
+
+    results = {}
+    for label, protocol, optimized in [
+        ("unoptimized (Stache)", "stache", False),
+        ("optimized (predictive)", "predictive", True),
+    ]:
+        machine = make_machine(MachineConfig(n_nodes=8, page_size=512), protocol)
+        env = program.run(machine, optimized=optimized)
+        stats = env.finish()
+        results[label] = stats
+        b = stats.figure_breakdown()
+        print(f"{label}:")
+        print(f"  wall time          {stats.wall_time:>12,.0f} cycles")
+        print(f"  remote data wait   {b['Remote data wait']:>12,.0f}")
+        print(f"  predictive phase   {b['Predictive protocol']:>12,.0f}")
+        print(f"  compute+synch      {b['Compute+Synch']:>12,.0f}")
+        print(f"  local hit rate     {stats.hit_rate:>12.1%}")
+        print()
+
+    base = results["unoptimized (Stache)"].wall_time
+    opt = results["optimized (predictive)"].wall_time
+    print(f"speedup from compiler-directed pre-sending: {base / opt:.2f}x")
+
+
+if __name__ == "__main__":
+    main()

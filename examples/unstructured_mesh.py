@@ -1,0 +1,108 @@
+#!/usr/bin/env python3
+"""The paper's Figure 3: an unstructured bipartite mesh update in C**.
+
+The paper's running compiler example is `update`, a parallel function over a
+bipartite mesh partitioned into *primal* and *dual* sets, where each primal
+element gathers from dual elements through per-element edge lists
+(indirection arrays).  Its access summary is the paper's own example:
+
+    (primal: Write access, Home), (dual: Read access, Non-Home)
+
+This program expresses the same computation in the C** mini-language with
+explicit edge/coefficient aggregates, compiles it (showing the summary the
+compiler derives matches the paper's), and runs primal/dual half-sweeps
+alternately — the irregular, but perfectly repetitive, pattern the
+predictive protocol thrives on.
+
+Run:  python examples/unstructured_mesh.py
+"""
+
+from repro.core import make_machine
+from repro.cstar import compile_source
+from repro.util import MachineConfig
+
+# Each primal element has EDGES neighbors in the dual mesh (and vice versa);
+# the edge lists live in int aggregates, so all mesh reads are indirections.
+SOURCE = """
+aggregate Mesh(float)[];
+aggregate Edges(int)[][];
+aggregate Coeff(float)[][];
+
+// Figure 3's update: gather over this element's edge list.
+// Summary: (primal: Write, Home), (dual/edges/coeff: Read, Non-Home)
+parallel update(Mesh primal parallel, Mesh dual, Edges e, Coeff c, int k) {
+  let acc = 0.0;
+  for (j = 0; j < k; j = j + 1) {
+    acc = acc + c[#0][j] * dual[e[#0][j]];
+  }
+  primal[#0] = 0.5 * primal[#0] + 0.5 * acc;
+}
+
+parallel seed(Mesh m parallel, float scale) {
+  m[#0] = scale * (#0 % 7) * 0.1;
+}
+
+// edge j of element i connects to (i + j*j + 1) mod n: fixed but irregular
+parallel wire(Edges e parallel, int n, int k) {
+  for (j = 0; j < k; j = j + 1) {
+    e[#0][j] = (#0 + j * j + 1) % n;
+  }
+}
+
+parallel weigh(Coeff c parallel, int k) {
+  for (j = 0; j < k; j = j + 1) {
+    c[#0][j] = 1.0 / k;
+  }
+}
+
+main() {
+  let n = 256;
+  let k = 8;
+  Mesh primal(256);
+  Mesh dual(256);
+  Edges pe(256, 8);
+  Edges de(256, 8);
+  Coeff pc(256, 8);
+  Coeff dc(256, 8);
+  seed(primal, 1.0);
+  seed(dual, 2.0);
+  wire(pe, n, k);
+  wire(de, n, k);
+  weigh(pc, k);
+  weigh(dc, k);
+  for (it = 0; it < 8; it = it + 1) {
+    update(primal, dual, pe, pc, k);
+    update(dual, primal, de, dc, k);
+  }
+}
+"""
+
+
+def main() -> None:
+    program = compile_source(SOURCE)
+    print("--- compiler analysis (compare with the paper's Figure 3) ---")
+    summary = program.summaries["update"]
+    for acc in summary:
+        print(f"  {acc}")
+    print()
+    print(program.placement.describe())
+    print()
+
+    for label, protocol, optimized in [
+        ("unoptimized", "stache", False),
+        ("optimized", "predictive", True),
+    ]:
+        machine = make_machine(MachineConfig(n_nodes=8, page_size=512), protocol)
+        env = program.run(machine, optimized=optimized)
+        stats = env.finish()
+        b = stats.figure_breakdown()
+        print(f"{label:<12} wall={stats.wall_time:>11,.0f}  "
+              f"wait={b['Remote data wait']:>10,.0f}  "
+              f"hit rate={stats.hit_rate:.1%}")
+
+    print("\nthe indirection pattern is static, so after one iteration the")
+    print("schedules cover it completely and every gather is pre-sent.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,7 @@
+"""Legacy shim: lets ``python setup.py develop`` work in offline
+environments where pip's PEP-517 editable path needs the `wheel` package.
+All metadata lives in pyproject.toml."""
+
+from setuptools import setup
+
+setup()

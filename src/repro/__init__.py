@@ -1,0 +1,43 @@
+"""repro — a reproduction of "Compiler-directed Shared-Memory Communication
+for Iterative Parallel Applications" (Viswanathan & Larus, SC 1996).
+
+The package provides, from the bottom up:
+
+* :mod:`repro.sim` — a deterministic discrete-event simulator;
+* :mod:`repro.tempest` — a Tempest/Blizzard-style fine-grain DSM substrate
+  (access-control tags, home nodes, a message-passing network model);
+* :mod:`repro.protocols` — coherence protocols written in a Teapot-style
+  state-machine framework: Stache (write-invalidate) and a write-update
+  baseline;
+* :mod:`repro.core` — the paper's contribution: incremental communication
+  schedules and the predictive protocol that pre-sends data;
+* :mod:`repro.cstar` — a mini C** compiler: parsing, access-pattern
+  analysis, the reaching-unstructured-accesses dataflow, directive
+  placement, and a runtime that executes data-parallel programs on the
+  simulated machine;
+* :mod:`repro.apps` — the paper's three applications (Adaptive, Barnes,
+  Water) plus the SPMD-Barnes and Splash-Water baselines;
+* :mod:`repro.bench` — the harness that regenerates every table and figure.
+"""
+
+from repro.util.config import MachineConfig, CM5_DEFAULTS
+from repro.util.errors import (
+    ReproError,
+    ConfigError,
+    ProtocolError,
+    SimulationError,
+    CompileError,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "MachineConfig",
+    "CM5_DEFAULTS",
+    "ReproError",
+    "ConfigError",
+    "ProtocolError",
+    "SimulationError",
+    "CompileError",
+    "__version__",
+]

@@ -1,0 +1,17 @@
+"""The paper's benchmark applications (Table 1) plus the two baselines.
+
+* :mod:`repro.apps.adaptive` — **Adaptive**: structured adaptive mesh
+  relaxation with quad-tree cell refinement (dynamic repetitive pattern);
+* :mod:`repro.apps.barnes` — **Barnes**: gravitational N-body with a
+  Barnes-Hut octree (dynamic repetitive, excellent spatial locality), plus
+  the hand-optimized **SPMD** variant under a write-update protocol;
+* :mod:`repro.apps.water` — **Water**: molecular dynamics with a spherical
+  cutoff (static repetitive producer-consumer pattern), plus the **Splash**
+  transparent-shared-memory variant.
+
+Each module exposes ``build(**params) -> EmbeddedProgram``, ``DEFAULTS``
+(scaled-down sizes; the paper-scale values are in ``PAPER_SCALE``), and a
+``reference(...)`` sequential implementation used to validate values.
+"""
+
+__all__ = ["adaptive", "barnes", "water"]

@@ -1,0 +1,30 @@
+"""The benchmark harness: regenerates every table and figure of the paper.
+
+* :mod:`repro.bench.harness` — run one application version on one machine
+  configuration; collect the paper's three-segment time breakdown.
+* :mod:`repro.bench.figures` — frozen configurations for Table 1 and
+  Figures 5/6/7, with shape checks against the paper's claims.
+* :mod:`repro.bench.ablations` — design-choice ablations called out in the
+  paper's text (block coalescing, incremental vs. rebuilt schedules,
+  schedule flushing under deletions, block-size sweeps).
+
+Scaled sizes: pure-Python simulation is orders of magnitude slower per
+simulated access than the CM-5, so default problem sizes are reduced
+(Table 1 prints both).  The machine keeps 8 nodes with the paper's
+geometry preserved (thin row bands, one C** cell object per 32-byte
+block); EXPERIMENTS.md records paper-vs-measured shape for every figure.
+"""
+
+from repro.bench.harness import VersionSpec, VersionResult, FigureResult, run_version
+from repro.bench.figures import fig5_adaptive, fig6_barnes, fig7_water, table1
+
+__all__ = [
+    "VersionSpec",
+    "VersionResult",
+    "FigureResult",
+    "run_version",
+    "fig5_adaptive",
+    "fig6_barnes",
+    "fig7_water",
+    "table1",
+]

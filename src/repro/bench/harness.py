@@ -1,0 +1,102 @@
+"""Generic machinery for running one benchmark version and rendering figures."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable
+
+from repro.core import make_machine
+from repro.sim.stats import RunStats
+from repro.util.config import MachineConfig
+from repro.util.tables import format_bar_chart, format_table
+
+
+@dataclass(frozen=True)
+class VersionSpec:
+    """One bar of a figure: an application version on a machine config."""
+
+    label: str
+    app: Any  # module with build(**kwargs)
+    protocol: str
+    optimized: bool
+    config: MachineConfig
+    build_kwargs: dict = field(default_factory=dict)
+    variant: str = "cstar"
+
+
+@dataclass
+class VersionResult:
+    spec: VersionSpec
+    stats: RunStats
+
+    @property
+    def wall(self) -> float:
+        return self.stats.wall_time
+
+    def breakdown(self) -> dict[str, float]:
+        return self.stats.figure_breakdown()
+
+
+def run_version(spec: VersionSpec) -> VersionResult:
+    """Build the program, run it on a fresh machine, and collect stats."""
+    kwargs = dict(spec.build_kwargs)
+    if spec.variant != "cstar":
+        kwargs["variant"] = spec.variant
+    prog = spec.app.build(**kwargs)
+    machine = make_machine(spec.config, spec.protocol)
+    env = prog.run(machine, optimized=spec.optimized)
+    stats = env.finish()
+    stats.check_conservation()
+    return VersionResult(spec=spec, stats=stats)
+
+
+@dataclass
+class FigureResult:
+    """All bars of one paper figure plus its shape checks."""
+
+    name: str
+    description: str
+    versions: list[VersionResult]
+    notes: list[str] = field(default_factory=list)
+
+    def result(self, label: str) -> VersionResult:
+        for v in self.versions:
+            if v.spec.label == label:
+                return v
+        raise KeyError(label)
+
+    def relative(self, label: str) -> float:
+        """Execution time relative to the fastest version (paper's y-axis)."""
+        fastest = min(v.wall for v in self.versions)
+        return self.result(label).wall / fastest
+
+    def render(self, width: int = 56) -> str:
+        bars = [(v.spec.label, v.breakdown()) for v in self.versions]
+        lines = [f"=== {self.name}: {self.description} ===", ""]
+        lines.append(format_bar_chart(bars, width=width))
+        lines.append("")
+        rows = []
+        fastest = min(v.wall for v in self.versions)
+        for v in self.versions:
+            b = v.breakdown()
+            rows.append([
+                v.spec.label,
+                v.wall,
+                v.wall / fastest,
+                b["Remote data wait"],
+                b["Predictive protocol"],
+                b["Compute+Synch"],
+                v.stats.hit_rate,
+                float(v.stats.misses),
+            ])
+        lines.append(
+            format_table(
+                ["version", "cycles", "rel", "remote wait", "predictive",
+                 "compute+synch", "hit rate", "misses"],
+                rows,
+                floatfmt=".3g",
+            )
+        )
+        for n in self.notes:
+            lines.append(f"note: {n}")
+        return "\n".join(lines)

@@ -1,0 +1,241 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands
+--------
+
+``compile FILE.cstar``
+    Compile a C** source file and print the access summaries, the
+    reaching-unstructured-accesses results, and the placed directives.
+
+``run FILE.cstar [--protocol P] [--nodes N] [--block-size B] [--unoptimized]``
+    Compile and execute on a simulated machine; print the paper-style time
+    breakdown (optionally ``--trace-stats``).
+
+``figure {table1,fig5,fig6,fig7}``
+    Regenerate a table/figure of the paper.
+
+``ablation {coalescing,incremental,flush,blocks}``
+    Run one of the design-choice ablations.
+
+``audit``
+    Statically audit the shipped protocols' transition tables.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.util.errors import ReproError
+
+
+def _cmd_compile(args: argparse.Namespace) -> int:
+    from repro.cstar import compile_source
+
+    source = open(args.file).read()
+    program = compile_source(source)
+    if args.dump_ast:
+        from repro.cstar.pprint import pprint_program
+
+        print(pprint_program(program.info.program))
+        print("// --- analysis ---")
+    print(program.describe())
+    if args.verbose:
+        analysis = program.placement.analysis
+        print("\nreaching unstructured accesses (per call site):")
+        from repro.cstar.flow import iter_calls
+
+        for call in iter_calls(program.flow):
+            reaching = sorted(analysis.reaching_set(call))
+            needs = program.placement.needs_schedule[call.site_id]
+            print(f"  {call.function}#{call.site_id}: reached by {reaching or '{}'}"
+                  f"{'  [needs schedule]' if needs else ''}")
+    return 0
+
+
+def _cmd_run(args: argparse.Namespace) -> int:
+    from repro.core import make_machine
+    from repro.cstar import compile_source
+    from repro.util.config import MachineConfig
+
+    program = compile_source(open(args.file).read())
+    cfg = MachineConfig(n_nodes=args.nodes, block_size=args.block_size,
+                        page_size=max(args.page_size, args.block_size))
+    machine = make_machine(cfg, args.protocol)
+    env = program.run(machine, optimized=not args.unoptimized)
+    stats = env.finish()
+    print(f"protocol={args.protocol} nodes={args.nodes} "
+          f"block={args.block_size}B optimized={not args.unoptimized}")
+    from repro.util.tables import format_table
+
+    print(format_table(["metric", "value"], stats.summary_rows(), floatfmt=".6g"))
+    if args.trace_stats:
+        from repro.tempest.tracestats import TraceStats
+
+        print()
+        print(f"(phase count: {len(stats.phases)})")
+    return 0
+
+
+def _cmd_figure(args: argparse.Namespace) -> int:
+    from repro.bench import figures
+
+    if args.name == "table1":
+        print(figures.table1())
+        return 0
+    fig = {
+        "fig5": figures.fig5_adaptive,
+        "fig6": figures.fig6_barnes,
+        "fig7": figures.fig7_water,
+    }[args.name]()
+    print(fig.render())
+    return 0
+
+
+def _cmd_ablation(args: argparse.Namespace) -> int:
+    from repro.bench import ablations
+
+    fn = {
+        "coalescing": ablations.ablation_coalescing,
+        "incremental": ablations.ablation_incremental,
+        "flush": ablations.ablation_flush,
+        "blocks": ablations.ablation_block_sweep,
+    }[args.name]
+    print(fn())
+    return 0
+
+
+def _cmd_reproduce(args: argparse.Namespace) -> int:
+    """Run every table, figure, ablation, and sweep; write a full report."""
+    import pathlib
+    import time
+
+    from repro.bench import ablations, figures, sweeps
+
+    sections: list[tuple[str, str]] = []
+    t0 = time.time()
+    sections.append(("Table 1", figures.table1()))
+
+    fig5 = figures.fig5_adaptive()
+    figures.check_fig5(fig5)
+    sections.append(("Figure 5", fig5.render()))
+
+    fig6 = figures.fig6_barnes()
+    figures.check_fig6(fig6)
+    sections.append(("Figure 6", fig6.render()))
+
+    fig7 = figures.fig7_water()
+    figures.check_fig7(fig7)
+    sections.append(("Figure 7", fig7.render()))
+
+    sections.append(("Ablation (a): coalescing", ablations.ablation_coalescing()))
+    sections.append(("Ablation (b): incremental", ablations.ablation_incremental()))
+    sections.append(("Ablation (c): flush", ablations.ablation_flush()))
+    sections.append(("Ablation (d): block sizes", ablations.ablation_block_sweep()))
+    sections.append(("Ablation (e): latency", ablations.ablation_latency_sweep()))
+    sections.append(("Sweep: node scaling", sweeps.node_scaling()))
+    sections.append(("Sweep: paper geometry", sweeps.paper_geometry_fig5()))
+
+    report = []
+    for title, body in sections:
+        report.append("=" * 72)
+        report.append(title)
+        report.append("=" * 72)
+        report.append(body)
+        report.append("")
+    report.append(f"(all shape checks passed; total {time.time() - t0:.1f}s)")
+    text = "\n".join(report)
+    print(text)
+    out = pathlib.Path(args.output)
+    out.parent.mkdir(parents=True, exist_ok=True)
+    out.write_text(text + "\n")
+    print(f"\nreport written to {out}")
+    return 0
+
+
+def _cmd_audit(args: argparse.Namespace) -> int:
+    from repro.core.predictive import PredictiveProtocol
+    from repro.protocols.directory import DirState
+    from repro.protocols.messages import MessageKind as MK
+    from repro.protocols.stache import StacheProtocol
+    from repro.protocols.verify import STACHE_HOME_SPEC, audit_protocol
+    from repro.protocols.writeupdate import UPDATE_SHARED, WriteUpdateProtocol
+
+    ok = True
+    for cls, spec in [
+        (StacheProtocol, STACHE_HOME_SPEC),
+        (PredictiveProtocol, STACHE_HOME_SPEC),
+        (WriteUpdateProtocol, {
+            DirState.IDLE: {MK.GET_RO, MK.GET_RW},
+            UPDATE_SHARED: {MK.GET_RO, MK.GET_RW},
+        }),
+    ]:
+        result = audit_protocol(cls, spec)
+        print(result.report())
+        print()
+        ok = ok and result.ok
+    return 0 if ok else 1
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Reproduction of 'Compiler-directed Shared-Memory "
+                    "Communication for Iterative Parallel Applications' (SC'96)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p = sub.add_parser("compile", help="compile a C** file; show the analysis")
+    p.add_argument("file")
+    p.add_argument("-v", "--verbose", action="store_true")
+    p.add_argument("--dump-ast", action="store_true",
+                   help="pretty-print the parsed program before the analysis")
+    p.set_defaults(fn=_cmd_compile)
+
+    p = sub.add_parser("run", help="compile and simulate a C** file")
+    p.add_argument("file")
+    p.add_argument("--protocol", default="predictive",
+                   choices=["stache", "predictive", "write-update"])
+    p.add_argument("--nodes", type=int, default=8)
+    p.add_argument("--block-size", type=int, default=32)
+    p.add_argument("--page-size", type=int, default=512)
+    p.add_argument("--unoptimized", action="store_true",
+                   help="ignore compiler directives (the paper's baseline)")
+    p.add_argument("--trace-stats", action="store_true")
+    p.set_defaults(fn=_cmd_run)
+
+    p = sub.add_parser("figure", help="regenerate a paper table/figure")
+    p.add_argument("name", choices=["table1", "fig5", "fig6", "fig7"])
+    p.set_defaults(fn=_cmd_figure)
+
+    p = sub.add_parser("ablation", help="run a design-choice ablation")
+    p.add_argument("name", choices=["coalescing", "incremental", "flush", "blocks"])
+    p.set_defaults(fn=_cmd_ablation)
+
+    p = sub.add_parser(
+        "reproduce",
+        help="run every table, figure, ablation, and sweep; write a report",
+    )
+    p.add_argument("--output", default="benchmarks/results/REPORT.txt")
+    p.set_defaults(fn=_cmd_reproduce)
+
+    p = sub.add_parser("audit", help="audit protocol transition tables")
+    p.set_defaults(fn=_cmd_audit)
+
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    try:
+        return args.fn(args)
+    except ReproError as e:
+        print(f"error: {e}", file=sys.stderr)
+        return 1
+    except FileNotFoundError as e:
+        print(f"error: {e}", file=sys.stderr)
+        return 1
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,36 @@
+"""Construction helpers: machine + protocol by name.
+
+The paper evaluates each application under several protocol configurations;
+this registry is the single place the harness, tests, and examples use to
+instantiate them.
+"""
+
+from __future__ import annotations
+
+from repro.core.predictive import PredictiveProtocol
+from repro.protocols.stache import StacheProtocol
+from repro.protocols.writeupdate import WriteUpdateProtocol
+from repro.tempest.machine import Machine
+from repro.util.config import MachineConfig
+from repro.util.errors import ConfigError
+
+PROTOCOLS = {
+    StacheProtocol.name: StacheProtocol,
+    PredictiveProtocol.name: PredictiveProtocol,
+    WriteUpdateProtocol.name: WriteUpdateProtocol,
+}
+
+
+def make_machine(config: MachineConfig, protocol: str = "stache") -> Machine:
+    """Create a simulated machine running the named coherence protocol.
+
+    ``protocol`` is one of ``"stache"`` (the write-invalidate default),
+    ``"predictive"`` (the paper's contribution), or ``"write-update"``
+    (the hand-optimized SPMD baseline's custom protocol).
+    """
+    cls = PROTOCOLS.get(protocol)
+    if cls is None:
+        raise ConfigError(
+            f"unknown protocol {protocol!r}; available: {sorted(PROTOCOLS)}"
+        )
+    return Machine(config, cls)

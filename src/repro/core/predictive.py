@@ -1,0 +1,278 @@
+"""The predictive cache-coherence protocol (paper §3.3-3.4).
+
+``PredictiveProtocol`` extends Stache in two ways, exactly as the paper
+describes:
+
+1. **Schedule building.**  Home-node request handlers are augmented: while
+   execution is inside a compiler-directed phase group, every faulting
+   GET_RO / GET_RW routed through the home is recorded into that directive's
+   :class:`~repro.core.schedule.CommSchedule`.  Schedules grow incrementally;
+   read+write of one block within the same phase instance marks it a
+   *conflict* block.
+
+2. **Pre-send.**  At the start of a subsequent execution of the phase group,
+   every node walks the schedule slice it is home for and executes
+   anticipated actions early (§3.4):
+
+   * ``READ`` entries — invalidate/recall any current writer, then forward
+     read-only copies to all recorded readers;
+   * ``WRITE`` entries — invalidate current readers or writer, then forward
+     a writable copy to the recorded writer;
+   * ``CONFLICT`` entries — no action.
+
+   Neighboring blocks bound for the same destination are coalesced into bulk
+   messages to amortize message startup cost.  A global barrier ends the
+   pre-send phase so every block is in a state the default protocol expects.
+
+Modelling note: pre-send precedes all computation of the phase and ends with
+a barrier, so invalidations issued during pre-send need no acknowledgements
+(the barrier subsumes them), and the rare recall of a remote writer's copy is
+accounted synchronously in the home's walk (a full request/response round
+trip of cost) rather than through transient directory states.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+from repro.core.schedule import CommSchedule, EntryKind, coalesce_blocks
+from repro.protocols.directory import DirState
+from repro.protocols.messages import MessageKind as MK
+from repro.protocols.stache import StacheProtocol
+from repro.tempest.network import Message
+from repro.tempest.tags import AccessTag
+from repro.util.errors import ProtocolError
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.tempest.machine import Machine
+
+
+class PredictiveProtocol(StacheProtocol):
+    """Stache + communication-schedule prediction.
+
+    Two class-level knobs support the ablation benchmarks:
+
+    * ``coalesce_presend`` — transfer runs of neighboring blocks as bulk
+      messages (§3.4).  Off: one message per block.
+    * ``rebuild_every_group`` — discard the schedule at every pre-send
+      (the inspector-executor-style "rebuild whenever anything changed"
+      policy the paper's incremental schedules avoid).
+    * ``anticipate_conflicts`` — implement §3.4's suggested extension:
+      for a conflict block, "anticipate the first stable block state (read
+      or write) before the conflict occurred" instead of doing nothing.
+    """
+
+    name = "predictive"
+    coalesce_presend = True
+    rebuild_every_group = False
+    anticipate_conflicts = False
+
+    def __init__(self, machine: "Machine") -> None:
+        super().__init__(machine)
+        self.schedules: dict[int, CommSchedule] = {}
+        #: (dst, block) pairs pre-sent in the current group (for usefulness stats)
+        self._presented: set[tuple[int, int]] = set()
+        self.presend_messages = 0
+        self.presend_blocks = 0
+
+    # -- schedule access -----------------------------------------------------------
+
+    def schedule_for(self, directive_id: int) -> CommSchedule:
+        sched = self.schedules.get(directive_id)
+        if sched is None:
+            sched = CommSchedule(directive_id)
+            self.schedules[directive_id] = sched
+        return sched
+
+    def flush_schedule(self, directive_id: int) -> None:
+        """FLUSH_SCHEDULE directive: rebuild from empty (§3.3)."""
+        if directive_id in self.schedules:
+            self.schedules[directive_id].flush()
+
+    # -- part 1: building schedules (augmented home handlers) -----------------------
+
+    def _handle(self, msg: Message, t: float) -> None:
+        directive = self.machine.current_directive
+        if directive is not None and msg.kind in MK.REQUESTS:
+            kind = "r" if msg.kind == MK.GET_RO else "w"
+            self.schedule_for(directive).record(msg.block, msg.src, kind)
+        super()._handle(msg, t)
+
+    # -- part 2: pre-send ------------------------------------------------------------
+
+    def begin_group(self, directive_id: int, t: float) -> list[float]:
+        """Walk schedules at every home node; pre-send data; return per-node
+        send-side completion times (the machine adds the closing barrier)."""
+        sched = self.schedule_for(directive_id)
+        if self.rebuild_every_group:
+            sched.flush()
+        sched.begin_instance()
+        self._presented.clear()
+        if not sched.entries:
+            # Nothing learned yet (first execution, or just flushed): no
+            # pre-send phase, so no pre-send barrier either.
+            return None
+        cfg = self.config
+        completions: list[float] = []
+        for node in self.machine.nodes:
+            cursor = t
+            entries = sched.entries_for_home(self.machine.home, node.id)
+            # (dst, tag) -> blocks to transfer in bulk
+            outgoing: dict[tuple[int, AccessTag], list[int]] = {}
+            for entry in entries:
+                cursor += cfg.presend_entry_cost
+                kind = entry.kind
+                if kind is EntryKind.CONFLICT:
+                    if not self.anticipate_conflicts:
+                        continue  # no anticipated action (§3.4)
+                    # extension: act as if the block were in its last stable
+                    # state before the conflict appeared
+                    kind = entry.pre_conflict_kind
+                    if kind is None or (kind is EntryKind.WRITE
+                                        and entry.writer is None):
+                        continue
+                if kind is EntryKind.READ:
+                    cursor = self._presend_read(node.id, entry, cursor, outgoing)
+                else:
+                    cursor = self._presend_write(node.id, entry, cursor, outgoing)
+            cursor = self._send_bulk(node.id, outgoing, cursor)
+            completions.append(cursor)
+        return completions
+
+    def end_group(self, directive_id: int, t: float) -> None:
+        """Account pre-sent blocks the receiver never touched (redundant
+        transfers from untracked deletions or over-wide blocks)."""
+        for dst, block in self._presented:
+            if not self.machine.was_accessed(dst, block):
+                self.machine.node(dst).stats.presend_useless_blocks += 1
+        self._presented.clear()
+
+    # -- pre-send actions per entry kind ------------------------------------------------
+
+    def _presend_read(self, home: int, entry, cursor: float, outgoing) -> float:
+        """READ entry: recall any writer, forward RO copies to readers."""
+        dentry = self.directory.entry(entry.block)
+        if dentry.state in DirState.BUSY:
+            raise ProtocolError(f"pre-send with busy directory entry {dentry}")
+        if dentry.state == DirState.EXCLUSIVE:
+            cursor = self._synchronous_recall(dentry, cursor)
+        home_tags = self.machine.node(home).tags
+        for reader in sorted(entry.readers):
+            if reader == home:
+                continue  # home reads its own memory
+            if self.machine.node(reader).tags.permits(entry.block, "r"):
+                continue  # already holds a usable copy
+            outgoing.setdefault((reader, AccessTag.READ_ONLY), []).append(entry.block)
+            dentry.sharers.add(reader)
+            dentry.state = DirState.SHARED
+            home_tags.downgrade(entry.block)
+        return cursor
+
+    def _presend_write(self, home: int, entry, cursor: float, outgoing) -> float:
+        """WRITE entry: invalidate readers/writer, forward the writable copy."""
+        dentry = self.directory.entry(entry.block)
+        if dentry.state in DirState.BUSY:
+            raise ProtocolError(f"pre-send with busy directory entry {dentry}")
+        writer = entry.writer
+        home_tags = self.machine.node(home).tags
+        if dentry.state == DirState.EXCLUSIVE:
+            if dentry.owner == writer:
+                return cursor  # predicted writer already owns the block
+            cursor = self._synchronous_recall(dentry, cursor)
+        elif dentry.state == DirState.SHARED:
+            for sharer in sorted(dentry.sharers):
+                if sharer == writer:
+                    continue
+                self.send(
+                    Message(MK.PRESEND_INV, src=home, dst=sharer, block=entry.block),
+                    cursor,
+                )
+                cursor += self.config.presend_entry_cost
+            dentry.sharers.intersection_update({writer})
+        if writer == home:
+            if dentry.sharers:
+                # writer held an RO copy; with others gone it upgrades in place
+                dentry.sharers.clear()
+            dentry.state = DirState.IDLE
+            dentry.owner = None
+            home_tags.set(entry.block, AccessTag.READ_WRITE)
+        else:
+            if self.machine.node(writer).tags.permits(entry.block, "w"):
+                return cursor
+            outgoing.setdefault((writer, AccessTag.READ_WRITE), []).append(entry.block)
+            dentry.sharers.clear()
+            dentry.owner = writer
+            dentry.state = DirState.EXCLUSIVE
+            home_tags.invalidate(entry.block)
+        return cursor
+
+    def _synchronous_recall(self, dentry, cursor: float) -> float:
+        """Recall a writable copy during pre-send (synchronous accounting).
+
+        Charges a full request/response round trip plus handler occupancy at
+        the owner, invalidates the owner's tag, and returns home memory to
+        the IDLE state.
+        """
+        owner = dentry.owner
+        cfg = self.config
+        cursor += (
+            2 * cfg.message_cost(cfg.block_size)
+            + 2 * cfg.handler_cost
+        )
+        self.machine.node(owner).tags.invalidate(dentry.block)
+        home_node = self.machine.node(dentry.home)
+        home_node.tags.set(dentry.block, AccessTag.READ_WRITE)
+        home_node.stats.messages_sent += 1
+        self.machine.node(owner).stats.messages_sent += 1
+        self.machine.node(owner).stats.bytes_sent += cfg.block_size
+        dentry.owner = None
+        dentry.state = DirState.IDLE
+        return cursor
+
+    def _send_bulk(self, home: int, outgoing, cursor: float) -> float:
+        """Coalesce per-destination blocks into runs; one bulk message each."""
+        stats = self.machine.node(home).stats
+        for (dst, tag), blocks in sorted(
+            outgoing.items(), key=lambda kv: (kv[0][0], kv[0][1])
+        ):
+            kind = MK.PRESEND_RO if tag is AccessTag.READ_ONLY else MK.PRESEND_RW
+            if self.coalesce_presend:
+                runs = coalesce_blocks(blocks)
+            else:
+                runs = [(b, 1) for b in sorted(set(blocks))]
+            for first, count in runs:
+                run = list(range(first, first + count))
+                msg = Message(
+                    kind,
+                    src=home,
+                    dst=dst,
+                    block=first,
+                    payload_bytes=count * self.config.block_size,
+                    info={"blocks": run},
+                    bulk=count > 1,
+                )
+                self.send(msg, cursor)
+                cursor += self.config.handler_cost  # injection occupancy
+                self.presend_messages += 1
+                self.presend_blocks += count
+                stats.presend_blocks_sent += count
+                self._presented.update((dst, b) for b in run)
+        return cursor
+
+    # -- receiving pre-sent data ----------------------------------------------------------
+
+    def handle_extra(self, msg: Message, t: float) -> None:
+        if msg.kind == MK.PRESEND_INV:
+            # No acknowledgement: the pre-send barrier subsumes it.
+            self.machine.node(msg.dst).tags.invalidate(msg.block)
+            return
+        if msg.kind in (MK.PRESEND_RO, MK.PRESEND_RW):
+            tags = self.machine.node(msg.dst).tags
+            tag = AccessTag.READ_ONLY if msg.kind == MK.PRESEND_RO else AccessTag.READ_WRITE
+            for block in msg.info["blocks"]:
+                tags.set(block, tag)
+            self.machine.node(msg.dst).stats.presend_blocks_received += len(
+                msg.info["blocks"]
+            )
+            return
+        super().handle_extra(msg, t)

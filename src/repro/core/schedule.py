@@ -1,0 +1,150 @@
+"""Incremental communication schedules (paper §3.3).
+
+A schedule belongs to one compiler-placed directive site and maps cache
+blocks to what the protocol learned about their communication in earlier
+executions of that phase:
+
+* which remote nodes requested a **read**able copy (the consumer set),
+* which node requested the **writ**able copy (the producer),
+* whether the block was both read and written *within the same phase
+  instance* — a **conflict** block (false sharing or genuinely conflicting
+  tasks), for which the pre-send phase takes no action.
+
+Schedules grow incrementally: faults not anticipated by the pre-send phase
+are appended, which is what lets the protocol track adaptive applications.
+Deletions are *not* tracked — a node that stops accessing a block keeps
+receiving it (paper §3.3: "the protocol transfers the block unnecessarily"),
+until the schedule is explicitly flushed.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Callable, Iterator
+
+from repro.util.blocks import coalesce_blocks
+
+__all__ = ["EntryKind", "ScheduleEntry", "CommSchedule", "coalesce_blocks"]
+
+
+class EntryKind(enum.Enum):
+    READ = "read"
+    WRITE = "write"
+    CONFLICT = "conflict"
+
+
+@dataclass
+class ScheduleEntry:
+    """What the home node learned about one block's per-phase communication."""
+
+    block: int
+    kind: EntryKind
+    readers: set[int] = field(default_factory=set)
+    writer: int | None = None
+    #: phase-group instance in which this entry was last updated
+    instance: int = 0
+    #: the last stable kind before the entry became a conflict (§3.4 suggests
+    #: anticipating "the first stable block state before the conflict
+    #: occurred" as a possible conflict action)
+    pre_conflict_kind: EntryKind | None = None
+
+    def __repr__(self) -> str:
+        who = (
+            f"readers={sorted(self.readers)}"
+            if self.kind is EntryKind.READ
+            else f"writer={self.writer}"
+            if self.kind is EntryKind.WRITE
+            else f"readers={sorted(self.readers)} writer={self.writer}"
+        )
+        return f"<Sched blk={self.block} {self.kind.value} {who}>"
+
+
+class CommSchedule:
+    """The communication schedule of one directive site."""
+
+    def __init__(self, directive_id: int):
+        self.directive_id = directive_id
+        self.entries: dict[int, ScheduleEntry] = {}
+        #: current phase-group instance (incremented at each pre-send)
+        self.instance: int = 0
+        # growth bookkeeping (for tests and the adaptive experiments)
+        self.additions_per_instance: list[int] = []
+        self._added_this_instance: int = 0
+
+    # -- building ------------------------------------------------------------
+
+    def begin_instance(self) -> int:
+        """A new execution of this phase group starts."""
+        self.instance += 1
+        self.additions_per_instance.append(self._added_this_instance)
+        self._added_this_instance = 0
+        return self.instance
+
+    def record(self, block: int, requester: int, kind: str) -> ScheduleEntry:
+        """Record a faulting request routed through the home node.
+
+        ``kind`` is ``"r"`` or ``"w"``.  Called from the (augmented) home
+        handlers during a directive-covered phase group.
+        """
+        entry = self.entries.get(block)
+        if entry is None:
+            ek = EntryKind.READ if kind == "r" else EntryKind.WRITE
+            entry = ScheduleEntry(block=block, kind=ek, instance=self.instance)
+            self.entries[block] = entry
+            self._added_this_instance += 1
+        if entry.kind is not EntryKind.CONFLICT:
+            opposite = EntryKind.WRITE if kind == "r" else EntryKind.READ
+            if entry.kind is opposite and entry.instance == self.instance:
+                # Read and written within the same phase.  By *different*
+                # processors that is a conflict (false sharing or clashing
+                # tasks, §3.3); by the same processor it is the classic
+                # migratory read-modify-write, which the pre-send phase
+                # should anticipate as a WRITE grant.
+                same_node = (
+                    (kind == "w" and entry.readers <= {requester})
+                    or (kind == "r" and entry.writer == requester
+                        and not entry.readers)
+                )
+                if same_node:
+                    entry.kind = EntryKind.WRITE
+                else:
+                    entry.pre_conflict_kind = entry.kind
+                    entry.kind = EntryKind.CONFLICT
+            elif entry.kind is opposite:
+                # Pattern changed between iterations (e.g. migratory data):
+                # adopt the new kind.
+                entry.kind = EntryKind.READ if kind == "r" else EntryKind.WRITE
+        if kind == "r":
+            entry.readers.add(requester)
+        else:
+            entry.writer = requester
+        entry.instance = self.instance
+        return entry
+
+    def flush(self) -> None:
+        """Discard the schedule (for deletion-heavy pattern changes, §3.3)."""
+        self.entries.clear()
+        self.additions_per_instance.append(self._added_this_instance)
+        self._added_this_instance = 0
+
+    # -- queries --------------------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self.entries)
+
+    def __iter__(self) -> Iterator[ScheduleEntry]:
+        return iter(self.entries.values())
+
+    def entries_for_home(self, home_of: Callable[[int], int], node: int) -> list[ScheduleEntry]:
+        """This node's slice of the schedule, in block order.
+
+        Each processor executes pre-send actions only "for blocks in the
+        communication schedule for which it is the home node" (§3.4).
+        """
+        mine = [e for e in self.entries.values() if home_of(e.block) == node]
+        mine.sort(key=lambda e: e.block)
+        return mine
+
+    def conflict_blocks(self) -> list[int]:
+        return sorted(b for b, e in self.entries.items() if e.kind is EntryKind.CONFLICT)

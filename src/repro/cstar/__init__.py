@@ -1,0 +1,56 @@
+"""A mini C** compiler and data-parallel runtime (paper §4).
+
+C** is a large-grain data-parallel language based on C++ [Larus, Richards &
+Viswanathan 1996].  We implement the subset the paper's analysis operates on:
+
+* **Aggregates** — global data collections distributed across the machine
+  (``repro.cstar.runtime``);
+* **parallel functions** — one invocation per element of a parallel
+  Aggregate argument, with ``#0``/``#1`` position pseudo-variables and
+  copy-in (phase-snapshot) semantics;
+* a **sequential main** of loops, conditionals, and parallel calls.
+
+Two frontends feed one analysis pipeline:
+
+* the **textual** frontend (``lexer`` → ``parser`` → ``sema`` →
+  ``interp``) compiles and runs actual C** source;
+* the **embedded** frontend (``embedded``) lets applications written in
+  Python declare their parallel functions' access summaries and main
+  control flow — the exact information level the paper's compiler
+  operates at (its Figure 4).
+
+The pipeline shared by both: per-function access-pattern summaries
+(``access``), control-flow graph construction (``cfg``), the
+*reaching-unstructured-accesses* bit-vector dataflow (``dataflow``), and
+directive placement with phase coalescing and loop hoisting
+(``placement``).
+"""
+
+from repro.cstar.access import Access, AccessKind, Locality, AccessSummary
+from repro.cstar.flow import FlowCall, FlowIf, FlowLoop, FlowSeq, FlowStmt
+from repro.cstar.runtime import Aggregate, CStarRuntime, Block1D, RowBlock2D, Tiled2D
+from repro.cstar.dataflow import ReachingUnstructured
+from repro.cstar.placement import PlacementResult, place_directives
+from repro.cstar.compiler import compile_source, CompiledProgram
+
+__all__ = [
+    "Access",
+    "AccessKind",
+    "Locality",
+    "AccessSummary",
+    "FlowSeq",
+    "FlowLoop",
+    "FlowIf",
+    "FlowCall",
+    "FlowStmt",
+    "Aggregate",
+    "CStarRuntime",
+    "Block1D",
+    "RowBlock2D",
+    "Tiled2D",
+    "ReachingUnstructured",
+    "PlacementResult",
+    "place_directives",
+    "compile_source",
+    "CompiledProgram",
+]

@@ -1,0 +1,100 @@
+"""Access-pattern summaries for parallel functions (paper §4.2).
+
+"For each parallel function, the C** compiler uses context-insensitive
+analysis to compile a list of all Aggregate member accesses that potentially
+require communication.  Each access is (conservatively) categorized as a
+Home access (for example, access to the 'own' element), or a Non-Home access
+(for all other accesses)."
+
+The summary carries no index arithmetic — only (aggregate, read/write,
+home/non-home) triples.  That deliberate imprecision is the paper's point:
+the compiler never needs to know the actual communication pattern.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Iterable, Iterator
+
+
+class AccessKind(enum.Enum):
+    READ = "read"
+    WRITE = "write"
+
+
+class Locality(enum.Enum):
+    #: the invocation's "own" element (plus anything provably local)
+    HOME = "home"
+    #: any other element: neighbors, indirection, pointers — all conservatively
+    #: "unstructured" for the analysis
+    NON_HOME = "non-home"
+
+
+@dataclass(frozen=True)
+class Access:
+    """One summarized aggregate access of a parallel function."""
+
+    aggregate: str
+    kind: AccessKind
+    locality: Locality
+
+    def __repr__(self) -> str:
+        return f"({self.aggregate}: {self.kind.value.capitalize()} access, {'Home' if self.locality is Locality.HOME else 'Non-Home'})"
+
+
+class AccessSummary:
+    """The deduplicated access list of one parallel function."""
+
+    def __init__(self, function: str, accesses: Iterable[Access] = ()):
+        self.function = function
+        self._accesses: set[Access] = set(accesses)
+
+    def add(self, access: Access) -> None:
+        self._accesses.add(access)
+
+    def __iter__(self) -> Iterator[Access]:
+        return iter(sorted(self._accesses, key=lambda a: (a.aggregate, a.kind.value, a.locality.value)))
+
+    def __len__(self) -> int:
+        return len(self._accesses)
+
+    def __contains__(self, access: Access) -> bool:
+        return access in self._accesses
+
+    # -- queries used by dataflow and placement ------------------------------------
+
+    def aggregates(self) -> set[str]:
+        return {a.aggregate for a in self._accesses}
+
+    def owner_writes(self) -> set[str]:
+        """Aggregates written at Home ("owner write accesses")."""
+        return {
+            a.aggregate
+            for a in self._accesses
+            if a.kind is AccessKind.WRITE and a.locality is Locality.HOME
+        }
+
+    def unstructured_writes(self) -> set[str]:
+        return {
+            a.aggregate
+            for a in self._accesses
+            if a.kind is AccessKind.WRITE and a.locality is Locality.NON_HOME
+        }
+
+    def unstructured_reads(self) -> set[str]:
+        return {
+            a.aggregate
+            for a in self._accesses
+            if a.kind is AccessKind.READ and a.locality is Locality.NON_HOME
+        }
+
+    def unstructured(self) -> set[str]:
+        return self.unstructured_reads() | self.unstructured_writes()
+
+    def is_home_only(self) -> bool:
+        """True if every summarized access is a Home access."""
+        return not self.unstructured()
+
+    def __repr__(self) -> str:
+        return f"<AccessSummary {self.function}: {sorted(map(repr, self._accesses))}>"

@@ -1,0 +1,164 @@
+"""AST node definitions for the C** mini-language."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass(frozen=True)
+class Node:
+    pass
+
+
+# -- expressions ---------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class Num(Node):
+    value: float | int
+
+
+@dataclass(frozen=True)
+class Name(Node):
+    ident: str
+
+
+@dataclass(frozen=True)
+class Pos(Node):
+    """Position pseudo-variable #k (paper Figure 2)."""
+
+    dim: int
+
+
+@dataclass(frozen=True)
+class BinOp(Node):
+    op: str
+    left: Node
+    right: Node
+
+
+@dataclass(frozen=True)
+class UnOp(Node):
+    op: str  # "-" or "!"
+    operand: Node
+
+
+@dataclass(frozen=True)
+class Index(Node):
+    """Aggregate element access: ``name[e0][e1]...``."""
+
+    aggregate: str
+    indices: tuple[Node, ...]
+
+
+@dataclass(frozen=True)
+class Intrinsic(Node):
+    """Built-in math call: sqrt, abs, min, max, floor, pow, exp."""
+
+    func: str
+    args: tuple[Node, ...]
+
+
+# -- statements -----------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class Let(Node):
+    name: str
+    value: Node
+
+
+@dataclass(frozen=True)
+class AssignVar(Node):
+    name: str
+    value: Node
+
+
+@dataclass(frozen=True)
+class AssignElem(Node):
+    target: Index
+    value: Node
+
+
+@dataclass(frozen=True)
+class NewAggregate(Node):
+    """``Grid a(64, 64);`` — create an aggregate at runtime (paper §4.1)."""
+
+    type_name: str
+    name: str
+    dims: tuple[Node, ...]
+
+
+@dataclass(frozen=True)
+class If(Node):
+    cond: Node
+    then_body: tuple[Node, ...]
+    else_body: tuple[Node, ...] = ()
+
+
+@dataclass(frozen=True)
+class For(Node):
+    init: AssignVar
+    cond: Node
+    step: AssignVar
+    body: tuple[Node, ...]
+
+
+@dataclass(frozen=True)
+class While(Node):
+    cond: Node
+    body: tuple[Node, ...]
+
+
+@dataclass(frozen=True)
+class ParCallStmt(Node):
+    """Parallel function call in main."""
+
+    func: str
+    args: tuple[Node, ...]  # Name for aggregates, exprs for scalars
+
+
+# -- declarations ------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class AggregateDecl(Node):
+    """``aggregate Grid(float)[][];`` — an aggregate class (paper Figure 1)."""
+
+    name: str
+    base_type: str  # "float" | "int"
+    rank: int
+
+
+@dataclass(frozen=True)
+class Param(Node):
+    type_name: str  # aggregate class name or "float"/"int"
+    name: str
+    is_parallel: bool = False
+
+
+@dataclass(frozen=True)
+class ParallelDecl(Node):
+    """A user-defined data-parallel function (paper §4.1)."""
+
+    name: str
+    params: tuple[Param, ...]
+    body: tuple[Node, ...]
+
+    def parallel_param(self) -> Param:
+        for p in self.params:
+            if p.is_parallel:
+                return p
+        return self.params[0]
+
+
+@dataclass(frozen=True)
+class MainDecl(Node):
+    body: tuple[Node, ...]
+
+
+@dataclass(frozen=True)
+class Program(Node):
+    aggregates: tuple[AggregateDecl, ...]
+    functions: tuple[ParallelDecl, ...]
+    main: MainDecl

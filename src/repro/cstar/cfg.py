@@ -1,0 +1,116 @@
+"""Control-flow graph construction from the structured flow tree.
+
+The dataflow pass (paper §4.3) is "an iterative bit-vector based data-flow
+computation on the sequential control flow graph"; this module lowers the
+structured tree into basic blocks and edges so the fixpoint runs on a real
+CFG (including the back edges loops introduce).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.cstar.flow import FlowCall, FlowIf, FlowLoop, FlowNode, FlowSeq, FlowStmt
+from repro.util.errors import CompileError
+
+
+@dataclass
+class BasicBlock:
+    """A CFG node.  ``calls`` holds the parallel call sites executed in it
+    (sequential statements are irrelevant to the analysis and dropped)."""
+
+    id: int
+    calls: list[FlowCall] = field(default_factory=list)
+    succs: list["BasicBlock"] = field(default_factory=list)
+    preds: list["BasicBlock"] = field(default_factory=list)
+    label: str = ""
+
+    def __repr__(self) -> str:
+        lbl = f" {self.label}" if self.label else ""
+        return f"<BB{self.id}{lbl} calls={[c.function for c in self.calls]}>"
+
+
+class CFG:
+    """A control-flow graph with distinguished entry and exit blocks."""
+
+    def __init__(self) -> None:
+        self.blocks: list[BasicBlock] = []
+        self.entry = self.new_block("entry")
+        self.exit = self.new_block("exit")
+
+    def new_block(self, label: str = "") -> BasicBlock:
+        bb = BasicBlock(id=len(self.blocks), label=label)
+        self.blocks.append(bb)
+        return bb
+
+    def edge(self, a: BasicBlock, b: BasicBlock) -> None:
+        if b not in a.succs:
+            a.succs.append(b)
+            b.preds.append(a)
+
+    def reverse_postorder(self) -> list[BasicBlock]:
+        """Blocks in reverse postorder from entry (fast fixpoint order)."""
+        seen: set[int] = set()
+        order: list[BasicBlock] = []
+
+        def dfs(bb: BasicBlock) -> None:
+            seen.add(bb.id)
+            for s in bb.succs:
+                if s.id not in seen:
+                    dfs(s)
+            order.append(bb)
+
+        dfs(self.entry)
+        order.reverse()
+        return order
+
+
+def build_cfg(root: FlowNode) -> tuple[CFG, dict[int, BasicBlock]]:
+    """Lower a flow tree to a CFG.
+
+    Returns the CFG and a map from call ``site_id`` to its basic block.
+    Every parallel call gets its own basic block (the analysis needs
+    per-call-site IN sets).
+    """
+    cfg = CFG()
+    call_block: dict[int, BasicBlock] = {}
+
+    def lower(node: FlowNode, current: BasicBlock) -> BasicBlock:
+        """Append ``node`` after ``current``; return the block control
+        reaches afterwards."""
+        if isinstance(node, FlowStmt):
+            return current
+        if isinstance(node, FlowCall):
+            bb = cfg.new_block(node.function)
+            bb.calls.append(node)
+            cfg.edge(current, bb)
+            call_block[node.site_id] = bb
+            return bb
+        if isinstance(node, FlowSeq):
+            for child in node.children:
+                current = lower(child, current)
+            return current
+        if isinstance(node, FlowLoop):
+            head = cfg.new_block("loop-head")
+            cfg.edge(current, head)
+            body_end = lower(node.body, head)
+            cfg.edge(body_end, head)  # back edge
+            after = cfg.new_block("loop-exit")
+            cfg.edge(head, after)  # zero-trip path
+            return after
+        if isinstance(node, FlowIf):
+            then_entry = cfg.new_block("then")
+            else_entry = cfg.new_block("else")
+            cfg.edge(current, then_entry)
+            cfg.edge(current, else_entry)
+            then_end = lower(node.then_body, then_entry)
+            else_end = lower(node.else_body, else_entry)
+            join = cfg.new_block("join")
+            cfg.edge(then_end, join)
+            cfg.edge(else_end, join)
+            return join
+        raise CompileError(f"unknown flow node {node!r}")
+
+    last = lower(root, cfg.entry)
+    cfg.edge(last, cfg.exit)
+    return cfg, call_block

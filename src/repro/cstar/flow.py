@@ -1,0 +1,127 @@
+"""The structured control-flow representation of a C** ``main``.
+
+Both frontends lower ``main`` to a tree of flow nodes; the analysis passes
+then (a) derive a conventional basic-block CFG from it for the iterative
+dataflow, and (b) walk the tree inside-out for the phase coalescing /
+loop-hoisting optimization, which needs loop structure.
+
+Nodes:
+
+* :class:`FlowSeq`   — straight-line sequence of children;
+* :class:`FlowLoop`  — a loop whose body executes zero or more times
+  (``for``/``while``; trip counts are irrelevant to an any-path analysis);
+* :class:`FlowIf`    — two-way branch;
+* :class:`FlowCall`  — a parallel function call site, annotated with the
+  callee's :class:`~repro.cstar.access.AccessSummary`;
+* :class:`FlowStmt`  — sequential statements (opaque to the analysis).
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Any, Iterator
+
+from repro.cstar.access import AccessSummary
+
+_site_ids = itertools.count(1)
+
+
+def fresh_site_id() -> int:
+    return next(_site_ids)
+
+
+@dataclass
+class FlowNode:
+    pass
+
+
+@dataclass
+class FlowCall(FlowNode):
+    """A parallel call site."""
+
+    function: str
+    summary: AccessSummary
+    site_id: int = field(default_factory=fresh_site_id)
+    #: opaque payload the frontend uses to execute the call (AST node,
+    #: python closure, argument list, ...)
+    payload: Any = None
+
+    def __repr__(self) -> str:
+        return f"<FlowCall #{self.site_id} {self.function}>"
+
+
+@dataclass
+class FlowStmt(FlowNode):
+    """Sequential code with no aggregate communication."""
+
+    payload: Any = None
+
+    def __repr__(self) -> str:
+        return "<FlowStmt>"
+
+
+@dataclass
+class FlowSeq(FlowNode):
+    children: list[FlowNode] = field(default_factory=list)
+
+    def __repr__(self) -> str:
+        return f"<FlowSeq {len(self.children)}>"
+
+
+@dataclass
+class FlowLoop(FlowNode):
+    body: FlowSeq = field(default_factory=FlowSeq)
+    #: opaque loop header payload (init/cond/step for the interpreter)
+    payload: Any = None
+
+    def __repr__(self) -> str:
+        return f"<FlowLoop {len(self.body.children)}>"
+
+
+@dataclass
+class FlowIf(FlowNode):
+    then_body: FlowSeq = field(default_factory=FlowSeq)
+    else_body: FlowSeq = field(default_factory=FlowSeq)
+    payload: Any = None
+
+    def __repr__(self) -> str:
+        return "<FlowIf>"
+
+
+@dataclass
+class FlowGroup(FlowNode):
+    """A compiler-directed phase group: ``BEGIN_PHASE(directive)`` is issued
+    before the body and ``END_PHASE`` after.  Produced by directive
+    placement; never nested."""
+
+    directive_id: int
+    body: FlowSeq = field(default_factory=FlowSeq)
+
+    def __repr__(self) -> str:
+        return f"<FlowGroup d={self.directive_id} {len(self.body.children)}>"
+
+
+def iter_calls(node: FlowNode) -> Iterator[FlowCall]:
+    """All call sites in tree order."""
+    if isinstance(node, FlowCall):
+        yield node
+    elif isinstance(node, FlowSeq):
+        for child in node.children:
+            yield from iter_calls(child)
+    elif isinstance(node, FlowLoop):
+        yield from iter_calls(node.body)
+    elif isinstance(node, FlowGroup):
+        yield from iter_calls(node.body)
+    elif isinstance(node, FlowIf):
+        yield from iter_calls(node.then_body)
+        yield from iter_calls(node.else_body)
+
+
+def collect_aggregates(node: FlowNode) -> list[str]:
+    """Every aggregate named by any call summary, in first-seen order."""
+    seen: dict[str, None] = {}
+    for call in iter_calls(node):
+        for name in sorted(call.summary.aggregates()):
+            seen.setdefault(name)
+    return list(seen)

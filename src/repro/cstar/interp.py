@@ -1,0 +1,230 @@
+"""Interpreter for the C** mini-language.
+
+Two evaluation contexts:
+
+* **main** — sequential scalar code; variables live in a flat scope dict.
+* **parallel function bodies** — run once per aggregate element under an
+  :class:`~repro.cstar.runtime.ElementContext`; aggregate accesses go
+  through ``ctx.read``/``ctx.write`` (which records the communication
+  trace) and every operator evaluation charges one cycle of modelled
+  compute, so invocation cost tracks expression complexity.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Any
+
+from repro.cstar import astnodes as A
+from repro.cstar.runtime import Aggregate, ElementContext
+from repro.util.errors import CompileError, SimulationError
+
+_MAX_LOOP = 10_000_000  # runaway-loop guard for interpreted whiles
+
+_INTRINSIC_IMPL = {
+    "sqrt": math.sqrt,
+    "abs": abs,
+    "min": min,
+    "max": max,
+    "floor": math.floor,
+    "pow": pow,
+    "exp": math.exp,
+}
+
+
+def _binop(op: str, left, right):
+    if op == "+":
+        return left + right
+    if op == "-":
+        return left - right
+    if op == "*":
+        return left * right
+    if op == "/":
+        if isinstance(left, int) and isinstance(right, int):
+            return left // right if right != 0 else _div_zero()
+        return left / right if right != 0 else _div_zero()
+    if op == "%":
+        return left % right if right != 0 else _div_zero()
+    if op == "==":
+        return 1 if left == right else 0
+    if op == "!=":
+        return 1 if left != right else 0
+    if op == "<":
+        return 1 if left < right else 0
+    if op == "<=":
+        return 1 if left <= right else 0
+    if op == ">":
+        return 1 if left > right else 0
+    if op == ">=":
+        return 1 if left >= right else 0
+    raise CompileError(f"unknown operator {op!r}")
+
+
+def _div_zero():
+    raise SimulationError("division by zero in C** program")
+
+
+# --------------------------------------------------------------------------- #
+# sequential (main) evaluation
+# --------------------------------------------------------------------------- #
+
+
+#: reduction operator -> numpy-style combiner over the aggregate's data
+_REDUCE_IMPL = {
+    "reduce_add": lambda data: float(data.sum()),
+    "reduce_min": lambda data: float(data.min()),
+    "reduce_max": lambda data: float(data.max()),
+}
+
+
+def run_reduction(func: str, agg_name: str, env) -> float:
+    """Execute a data-parallel reduction (main-level language support).
+
+    Each owner reads its own elements in a home-only parallel phase (one
+    cycle of combining work per element); the cross-node combine rides the
+    phase barrier — the CM-5's control network performs global reductions
+    in hardware, which is why data-parallel languages offer them natively
+    rather than through the coherence protocol.
+    """
+    agg = env.runtime.aggregates[agg_name]
+
+    def body(ctx):
+        ctx.charge(1)
+        ctx.read(agg, ctx.pos)
+
+    env.runtime.par_call(body, over=agg, name=f"{func}({agg_name})")
+    return _REDUCE_IMPL[func](agg.data)
+
+
+def eval_scalar(e: A.Node, vars: dict[str, Any], env=None):
+    """Evaluate a main-context scalar expression.
+
+    ``env`` (the execution environment) is required only when the
+    expression contains a reduction, which runs a parallel phase.
+    """
+    if isinstance(e, A.Num):
+        return e.value
+    if isinstance(e, A.Name):
+        return vars[e.ident]
+    if isinstance(e, A.UnOp):
+        v = eval_scalar(e.operand, vars, env)
+        return -v if e.op == "-" else (0 if v else 1)
+    if isinstance(e, A.BinOp):
+        if e.op == "&&":
+            return 1 if (eval_scalar(e.left, vars, env)
+                         and eval_scalar(e.right, vars, env)) else 0
+        if e.op == "||":
+            return 1 if (eval_scalar(e.left, vars, env)
+                         or eval_scalar(e.right, vars, env)) else 0
+        return _binop(e.op, eval_scalar(e.left, vars, env),
+                      eval_scalar(e.right, vars, env))
+    if isinstance(e, A.Intrinsic):
+        if e.func in _REDUCE_IMPL:
+            if env is None:
+                raise CompileError(
+                    f"{e.func} needs a runtime environment to execute"
+                )
+            return run_reduction(e.func, e.args[0].ident, env)
+        fn = _INTRINSIC_IMPL[e.func]
+        return fn(*(eval_scalar(a, vars, env) for a in e.args))
+    raise CompileError(f"cannot evaluate {e!r} in main")
+
+
+# --------------------------------------------------------------------------- #
+# parallel-body evaluation
+# --------------------------------------------------------------------------- #
+
+
+class BodyInterp:
+    """Evaluates one parallel-function invocation for one element."""
+
+    __slots__ = ("ctx", "scope", "aggs")
+
+    def __init__(
+        self,
+        ctx: ElementContext,
+        scalars: dict[str, Any],
+        aggs: dict[str, Aggregate],
+    ):
+        self.ctx = ctx
+        self.scope = dict(scalars)
+        self.aggs = aggs
+
+    # -- expressions --------------------------------------------------------------
+
+    def eval(self, e: A.Node):
+        if isinstance(e, A.Num):
+            return e.value
+        if isinstance(e, A.Pos):
+            return self.ctx.pos[e.dim]
+        if isinstance(e, A.Name):
+            return self.scope[e.ident]
+        if isinstance(e, A.Index):
+            agg = self.aggs[e.aggregate]
+            idx = tuple(int(self.eval(i)) for i in e.indices)
+            self.ctx.charge(1)
+            return agg_value(self.ctx.read(agg, idx), agg)
+        if isinstance(e, A.BinOp):
+            self.ctx.charge(1)
+            if e.op == "&&":
+                return 1 if (self.eval(e.left) and self.eval(e.right)) else 0
+            if e.op == "||":
+                return 1 if (self.eval(e.left) or self.eval(e.right)) else 0
+            return _binop(e.op, self.eval(e.left), self.eval(e.right))
+        if isinstance(e, A.UnOp):
+            self.ctx.charge(1)
+            v = self.eval(e.operand)
+            return -v if e.op == "-" else (0 if v else 1)
+        if isinstance(e, A.Intrinsic):
+            self.ctx.charge(2)
+            fn = _INTRINSIC_IMPL[e.func]
+            return fn(*(self.eval(a) for a in e.args))
+        raise CompileError(f"cannot evaluate {e!r} in a parallel function")
+
+    # -- statements ----------------------------------------------------------------
+
+    def exec_block(self, stmts) -> None:
+        for s in stmts:
+            self.exec(s)
+
+    def exec(self, s: A.Node) -> None:
+        if isinstance(s, A.Let) or isinstance(s, A.AssignVar):
+            self.scope[s.name] = self.eval(s.value)
+            return
+        if isinstance(s, A.AssignElem):
+            agg = self.aggs[s.target.aggregate]
+            idx = tuple(int(self.eval(i)) for i in s.target.indices)
+            value = self.eval(s.value)
+            self.ctx.write(agg, idx, value)
+            return
+        if isinstance(s, A.If):
+            self.ctx.charge(1)
+            if self.eval(s.cond):
+                self.exec_block(s.then_body)
+            else:
+                self.exec_block(s.else_body)
+            return
+        if isinstance(s, A.For):
+            self.scope[s.init.name] = self.eval(s.init.value)
+            count = 0
+            while self.eval(s.cond):
+                self.exec_block(s.body)
+                self.scope[s.step.name] = self.eval(s.step.value)
+                count += 1
+                if count > _MAX_LOOP:
+                    raise SimulationError("parallel-function for-loop exceeded limit")
+            return
+        if isinstance(s, A.While):
+            count = 0
+            while self.eval(s.cond):
+                self.exec_block(s.body)
+                count += 1
+                if count > _MAX_LOOP:
+                    raise SimulationError("parallel-function while-loop exceeded limit")
+            return
+        raise CompileError(f"cannot execute {s!r} in a parallel function")
+
+
+def agg_value(raw, agg: Aggregate):
+    """Convert a numpy scalar read from an aggregate to a Python number."""
+    return int(raw) if agg.dtype == "int" else float(raw)

@@ -1,0 +1,155 @@
+"""Lexer for the C** mini-language.
+
+Token kinds: keywords, identifiers, integer/float literals, position
+pseudo-variables (``#0``, ``#1``, ...), operators, and punctuation.
+C/C++-style comments (``//`` and ``/* */``) are skipped.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.util.errors import CompileError
+
+KEYWORDS = {
+    "aggregate",
+    "parallel",
+    "main",
+    "let",
+    "if",
+    "else",
+    "for",
+    "while",
+    "float",
+    "int",
+    "return",
+}
+
+#: multi-character operators first (maximal munch)
+OPERATORS = [
+    "==", "!=", "<=", ">=", "&&", "||",
+    "+", "-", "*", "/", "%", "<", ">", "=", "!",
+]
+
+PUNCT = ["(", ")", "{", "}", "[", "]", ",", ";"]
+
+
+@dataclass(frozen=True)
+class Token:
+    kind: str  # "name", "number", "pos", "kw", "op", "punct", "eof"
+    text: str
+    line: int
+    col: int
+    value: float | int | None = None
+
+    def __repr__(self) -> str:
+        return f"Token({self.kind}, {self.text!r} @{self.line}:{self.col})"
+
+
+def tokenize(source: str) -> list[Token]:
+    """Lex ``source`` into tokens; raises :class:`CompileError` on bad input."""
+    tokens: list[Token] = []
+    i = 0
+    line = 1
+    col = 1
+    n = len(source)
+
+    def error(msg: str) -> CompileError:
+        return CompileError(msg, line=line, col=col)
+
+    while i < n:
+        ch = source[i]
+        # whitespace
+        if ch == "\n":
+            i += 1
+            line += 1
+            col = 1
+            continue
+        if ch in " \t\r":
+            i += 1
+            col += 1
+            continue
+        # comments
+        if source.startswith("//", i):
+            while i < n and source[i] != "\n":
+                i += 1
+            continue
+        if source.startswith("/*", i):
+            end = source.find("*/", i + 2)
+            if end < 0:
+                raise error("unterminated block comment")
+            skipped = source[i : end + 2]
+            line += skipped.count("\n")
+            if "\n" in skipped:
+                col = len(skipped) - skipped.rfind("\n")
+            else:
+                col += len(skipped)
+            i = end + 2
+            continue
+        # position pseudo-variable
+        if ch == "#":
+            j = i + 1
+            if j >= n or not source[j].isdigit():
+                raise error("'#' must be followed by a dimension number")
+            k = j
+            while k < n and source[k].isdigit():
+                k += 1
+            text = source[i:k]
+            tokens.append(Token("pos", text, line, col, value=int(source[j:k])))
+            col += k - i
+            i = k
+            continue
+        # numbers
+        if ch.isdigit() or (ch == "." and i + 1 < n and source[i + 1].isdigit()):
+            k = i
+            is_float = False
+            while k < n and (source[k].isdigit() or source[k] == "."):
+                if source[k] == ".":
+                    if is_float:
+                        raise error("malformed number")
+                    is_float = True
+                k += 1
+            # exponent
+            if k < n and source[k] in "eE":
+                k2 = k + 1
+                if k2 < n and source[k2] in "+-":
+                    k2 += 1
+                if k2 >= n or not source[k2].isdigit():
+                    raise error("malformed exponent")
+                while k2 < n and source[k2].isdigit():
+                    k2 += 1
+                k = k2
+                is_float = True
+            text = source[i:k]
+            value = float(text) if is_float else int(text)
+            tokens.append(Token("number", text, line, col, value=value))
+            col += k - i
+            i = k
+            continue
+        # names / keywords
+        if ch.isalpha() or ch == "_":
+            k = i
+            while k < n and (source[k].isalnum() or source[k] == "_"):
+                k += 1
+            text = source[i:k]
+            kind = "kw" if text in KEYWORDS else "name"
+            tokens.append(Token(kind, text, line, col))
+            col += k - i
+            i = k
+            continue
+        # operators (maximal munch)
+        for op in OPERATORS:
+            if source.startswith(op, i):
+                tokens.append(Token("op", op, line, col))
+                col += len(op)
+                i += len(op)
+                break
+        else:
+            if ch in PUNCT:
+                tokens.append(Token("punct", ch, line, col))
+                i += 1
+                col += 1
+            else:
+                raise error(f"unexpected character {ch!r}")
+    tokens.append(Token("eof", "", line, col))
+    return tokens

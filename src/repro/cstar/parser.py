@@ -1,0 +1,331 @@
+"""Recursive-descent parser for the C** mini-language.
+
+Grammar (EBNF; see tests/cstar/test_parser.py for examples)::
+
+    program   := (aggdecl | pardecl | maindecl)*
+    aggdecl   := "aggregate" NAME "(" ("float"|"int") ")" ("[" "]")+ ";"
+    pardecl   := "parallel" NAME "(" param ("," param)* ")" block
+    param     := TYPE NAME ["parallel"]
+    maindecl  := "main" "(" ")" block
+    block     := "{" stmt* "}"
+    stmt      := "let" NAME "=" expr ";"
+               | TYPE NAME "(" expr ("," expr)* ")" ";"
+               | NAME ("[" expr "]")* "=" expr ";"
+               | "if" "(" expr ")" block ["else" block]
+               | "for" "(" NAME "=" expr ";" expr ";" NAME "=" expr ")" block
+               | "while" "(" expr ")" block
+               | NAME "(" [expr ("," expr)*] ")" ";"
+    expr      := precedence climbing over || && == != < <= > >= + - * / % unary- !
+    primary   := NUMBER | "#"K | NAME | NAME ("[" expr "]")+
+               | INTRINSIC "(" args ")" | "(" expr ")"
+"""
+
+from __future__ import annotations
+
+from repro.cstar import astnodes as A
+from repro.cstar.lexer import Token, tokenize
+from repro.util.errors import CompileError
+
+INTRINSICS = {"sqrt", "abs", "min", "max", "floor", "pow", "exp"}
+
+#: data-parallel reductions, valid only in main (the language-level support
+#: the paper contrasts with the predictive protocol: "reductions, for which
+#: high-level language support is available in data-parallel languages")
+REDUCE_OPS = {"reduce_add", "reduce_min", "reduce_max"}
+
+#: binary operator precedence (higher binds tighter)
+_PRECEDENCE = {
+    "||": 1,
+    "&&": 2,
+    "==": 3, "!=": 3,
+    "<": 4, "<=": 4, ">": 4, ">=": 4,
+    "+": 5, "-": 5,
+    "*": 6, "/": 6, "%": 6,
+}
+
+
+class Parser:
+    def __init__(self, tokens: list[Token]):
+        self.tokens = tokens
+        self.pos = 0
+
+    # -- token plumbing -------------------------------------------------------
+
+    def peek(self, offset: int = 0) -> Token:
+        return self.tokens[min(self.pos + offset, len(self.tokens) - 1)]
+
+    def advance(self) -> Token:
+        tok = self.tokens[self.pos]
+        if tok.kind != "eof":
+            self.pos += 1
+        return tok
+
+    def check(self, kind: str, text: str | None = None) -> bool:
+        tok = self.peek()
+        return tok.kind == kind and (text is None or tok.text == text)
+
+    def accept(self, kind: str, text: str | None = None) -> Token | None:
+        if self.check(kind, text):
+            return self.advance()
+        return None
+
+    def expect(self, kind: str, text: str | None = None) -> Token:
+        tok = self.peek()
+        if not self.check(kind, text):
+            want = text if text is not None else kind
+            raise CompileError(
+                f"expected {want!r}, found {tok.text or tok.kind!r}",
+                line=tok.line,
+                col=tok.col,
+            )
+        return self.advance()
+
+    def error(self, msg: str) -> CompileError:
+        tok = self.peek()
+        return CompileError(msg, line=tok.line, col=tok.col)
+
+    # -- declarations ------------------------------------------------------------
+
+    def parse_program(self) -> A.Program:
+        aggs: list[A.AggregateDecl] = []
+        funcs: list[A.ParallelDecl] = []
+        main: A.MainDecl | None = None
+        while not self.check("eof"):
+            if self.check("kw", "aggregate"):
+                aggs.append(self.parse_aggdecl())
+            elif self.check("kw", "parallel"):
+                funcs.append(self.parse_pardecl())
+            elif self.check("kw", "main"):
+                if main is not None:
+                    raise self.error("duplicate main()")
+                main = self.parse_main()
+            else:
+                raise self.error("expected a declaration (aggregate/parallel/main)")
+        if main is None:
+            raise CompileError("program has no main()")
+        return A.Program(tuple(aggs), tuple(funcs), main)
+
+    def parse_aggdecl(self) -> A.AggregateDecl:
+        self.expect("kw", "aggregate")
+        name = self.expect("name").text
+        self.expect("punct", "(")
+        base = self.peek()
+        if base.text not in ("float", "int"):
+            raise self.error("aggregate base type must be float or int")
+        self.advance()
+        self.expect("punct", ")")
+        rank = 0
+        while self.accept("punct", "["):
+            self.expect("punct", "]")
+            rank += 1
+        if rank == 0:
+            raise self.error("aggregate needs at least one dimension: []")
+        self.expect("punct", ";")
+        return A.AggregateDecl(name=name, base_type=base.text, rank=rank)
+
+    def parse_pardecl(self) -> A.ParallelDecl:
+        self.expect("kw", "parallel")
+        name = self.expect("name").text
+        self.expect("punct", "(")
+        params: list[A.Param] = []
+        while True:
+            ttok = self.peek()
+            if ttok.kind == "kw" and ttok.text in ("float", "int"):
+                type_name = self.advance().text
+            else:
+                type_name = self.expect("name").text
+            pname = self.expect("name").text
+            is_par = self.accept("kw", "parallel") is not None
+            params.append(A.Param(type_name, pname, is_par))
+            if not self.accept("punct", ","):
+                break
+        self.expect("punct", ")")
+        body = self.parse_block()
+        if not params:
+            raise self.error(f"parallel function {name} needs parameters")
+        n_par = sum(p.is_parallel for p in params)
+        if n_par > 1:
+            raise CompileError(f"parallel function {name} has {n_par} parallel parameters")
+        return A.ParallelDecl(name=name, params=tuple(params), body=body)
+
+    def parse_main(self) -> A.MainDecl:
+        self.expect("kw", "main")
+        self.expect("punct", "(")
+        self.expect("punct", ")")
+        return A.MainDecl(body=self.parse_block())
+
+    # -- statements ------------------------------------------------------------------
+
+    def parse_block(self) -> tuple[A.Node, ...]:
+        self.expect("punct", "{")
+        stmts: list[A.Node] = []
+        while not self.check("punct", "}"):
+            stmts.append(self.parse_stmt())
+        self.expect("punct", "}")
+        return tuple(stmts)
+
+    def parse_stmt(self) -> A.Node:
+        if self.check("kw", "let"):
+            self.advance()
+            name = self.expect("name").text
+            self.expect("op", "=")
+            value = self.parse_expr()
+            self.expect("punct", ";")
+            return A.Let(name, value)
+        if self.check("kw", "if"):
+            return self.parse_if()
+        if self.check("kw", "for"):
+            return self.parse_for()
+        if self.check("kw", "while"):
+            self.advance()
+            self.expect("punct", "(")
+            cond = self.parse_expr()
+            self.expect("punct", ")")
+            return A.While(cond, self.parse_block())
+        if self.check("name"):
+            # NAME NAME ( ... ) ;       aggregate instantiation
+            # NAME ( ... ) ;            parallel call
+            # NAME [...]* = expr ;      assignment
+            if self.peek(1).kind == "name":
+                return self.parse_new_aggregate()
+            if self.peek(1).text == "(":
+                return self.parse_call_stmt()
+            return self.parse_assign()
+        raise self.error("expected a statement")
+
+    def parse_new_aggregate(self) -> A.NewAggregate:
+        type_name = self.expect("name").text
+        name = self.expect("name").text
+        self.expect("punct", "(")
+        dims = [self.parse_expr()]
+        while self.accept("punct", ","):
+            dims.append(self.parse_expr())
+        self.expect("punct", ")")
+        self.expect("punct", ";")
+        return A.NewAggregate(type_name, name, tuple(dims))
+
+    def parse_call_stmt(self) -> A.ParCallStmt:
+        func = self.expect("name").text
+        self.expect("punct", "(")
+        args: list[A.Node] = []
+        if not self.check("punct", ")"):
+            args.append(self.parse_expr())
+            while self.accept("punct", ","):
+                args.append(self.parse_expr())
+        self.expect("punct", ")")
+        self.expect("punct", ";")
+        return A.ParCallStmt(func, tuple(args))
+
+    def parse_assign(self) -> A.Node:
+        name = self.expect("name").text
+        if self.check("punct", "["):
+            indices: list[A.Node] = []
+            while self.accept("punct", "["):
+                indices.append(self.parse_expr())
+                self.expect("punct", "]")
+            self.expect("op", "=")
+            value = self.parse_expr()
+            self.expect("punct", ";")
+            return A.AssignElem(A.Index(name, tuple(indices)), value)
+        self.expect("op", "=")
+        value = self.parse_expr()
+        self.expect("punct", ";")
+        return A.AssignVar(name, value)
+
+    def parse_if(self) -> A.If:
+        self.expect("kw", "if")
+        self.expect("punct", "(")
+        cond = self.parse_expr()
+        self.expect("punct", ")")
+        then_body = self.parse_block()
+        else_body: tuple[A.Node, ...] = ()
+        if self.accept("kw", "else"):
+            if self.check("kw", "if"):
+                else_body = (self.parse_if(),)
+            else:
+                else_body = self.parse_block()
+        return A.If(cond, then_body, else_body)
+
+    def parse_for(self) -> A.For:
+        self.expect("kw", "for")
+        self.expect("punct", "(")
+        init_name = self.expect("name").text
+        self.expect("op", "=")
+        init = A.AssignVar(init_name, self.parse_expr())
+        self.expect("punct", ";")
+        cond = self.parse_expr()
+        self.expect("punct", ";")
+        step_name = self.expect("name").text
+        self.expect("op", "=")
+        step = A.AssignVar(step_name, self.parse_expr())
+        self.expect("punct", ")")
+        return A.For(init, cond, step, self.parse_block())
+
+    # -- expressions (precedence climbing) ----------------------------------------------
+
+    def parse_expr(self, min_prec: int = 1) -> A.Node:
+        left = self.parse_unary()
+        while True:
+            tok = self.peek()
+            if tok.kind != "op":
+                break
+            prec = _PRECEDENCE.get(tok.text)
+            if prec is None or prec < min_prec:
+                break
+            self.advance()
+            right = self.parse_expr(prec + 1)
+            left = A.BinOp(tok.text, left, right)
+        return left
+
+    def parse_unary(self) -> A.Node:
+        if self.check("op", "-"):
+            self.advance()
+            return A.UnOp("-", self.parse_unary())
+        if self.check("op", "!"):
+            self.advance()
+            return A.UnOp("!", self.parse_unary())
+        return self.parse_primary()
+
+    def parse_primary(self) -> A.Node:
+        tok = self.peek()
+        if tok.kind == "number":
+            self.advance()
+            return A.Num(tok.value)
+        if tok.kind == "pos":
+            self.advance()
+            return A.Pos(tok.value)
+        if self.accept("punct", "("):
+            e = self.parse_expr()
+            self.expect("punct", ")")
+            return e
+        if tok.kind == "name":
+            self.advance()
+            if self.check("punct", "("):
+                if tok.text not in INTRINSICS and tok.text not in REDUCE_OPS:
+                    raise CompileError(
+                        f"only intrinsic functions may be called in expressions, "
+                        f"got {tok.text!r}",
+                        line=tok.line,
+                        col=tok.col,
+                    )
+                self.advance()
+                args: list[A.Node] = []
+                if not self.check("punct", ")"):
+                    args.append(self.parse_expr())
+                    while self.accept("punct", ","):
+                        args.append(self.parse_expr())
+                self.expect("punct", ")")
+                return A.Intrinsic(tok.text, tuple(args))
+            if self.check("punct", "["):
+                indices: list[A.Node] = []
+                while self.accept("punct", "["):
+                    indices.append(self.parse_expr())
+                    self.expect("punct", "]")
+                return A.Index(tok.text, tuple(indices))
+            return A.Name(tok.text)
+        raise self.error(f"expected an expression, found {tok.text or tok.kind!r}")
+
+
+def parse(source: str) -> A.Program:
+    """Parse C** source text into a :class:`~repro.cstar.astnodes.Program`."""
+    return Parser(tokenize(source)).parse_program()

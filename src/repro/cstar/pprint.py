@@ -1,0 +1,105 @@
+"""Pretty-printer for C** ASTs.
+
+Produces parseable source text: ``parse(pprint(ast)) == ast`` (the
+round-trip property the fuzz tests verify).  Used by the CLI's
+``compile --dump-ast`` and handy when generating programs.
+"""
+
+from __future__ import annotations
+
+from repro.cstar import astnodes as A
+from repro.util.errors import CompileError
+
+_INDENT = "  "
+
+#: operators that need no parens around equal-precedence right operands
+_PRECEDENCE = {
+    "||": 1, "&&": 2,
+    "==": 3, "!=": 3,
+    "<": 4, "<=": 4, ">": 4, ">=": 4,
+    "+": 5, "-": 5,
+    "*": 6, "/": 6, "%": 6,
+}
+
+
+def pprint_expr(e: A.Node, parent_prec: int = 0) -> str:
+    if isinstance(e, A.Num):
+        if isinstance(e.value, float) and e.value == int(e.value):
+            return f"{e.value:.1f}"
+        return repr(e.value)
+    if isinstance(e, A.Name):
+        return e.ident
+    if isinstance(e, A.Pos):
+        return f"#{e.dim}"
+    if isinstance(e, A.Index):
+        return e.aggregate + "".join(f"[{pprint_expr(i)}]" for i in e.indices)
+    if isinstance(e, A.Intrinsic):
+        args = ", ".join(pprint_expr(a) for a in e.args)
+        return f"{e.func}({args})"
+    if isinstance(e, A.UnOp):
+        inner = pprint_expr(e.operand, 7)
+        return f"{e.op}{inner}"
+    if isinstance(e, A.BinOp):
+        prec = _PRECEDENCE[e.op]
+        left = pprint_expr(e.left, prec)
+        # right operand of a left-associative operator needs parens at
+        # equal precedence
+        right = pprint_expr(e.right, prec + 1)
+        text = f"{left} {e.op} {right}"
+        if prec < parent_prec:
+            return f"({text})"
+        return text
+    raise CompileError(f"cannot pretty-print expression {e!r}")
+
+
+def _pprint_block(stmts, depth: int) -> str:
+    pad = _INDENT * depth
+    if not stmts:
+        return pad + "{\n" + pad + "}"
+    inner = "\n".join(pprint_stmt(s, depth + 1) for s in stmts)
+    return pad + "{\n" + inner + "\n" + pad + "}"
+
+
+def pprint_stmt(s: A.Node, depth: int = 0) -> str:
+    pad = _INDENT * depth
+    if isinstance(s, A.Let):
+        return f"{pad}let {s.name} = {pprint_expr(s.value)};"
+    if isinstance(s, A.AssignVar):
+        return f"{pad}{s.name} = {pprint_expr(s.value)};"
+    if isinstance(s, A.AssignElem):
+        return f"{pad}{pprint_expr(s.target)} = {pprint_expr(s.value)};"
+    if isinstance(s, A.NewAggregate):
+        dims = ", ".join(pprint_expr(d) for d in s.dims)
+        return f"{pad}{s.type_name} {s.name}({dims});"
+    if isinstance(s, A.ParCallStmt):
+        args = ", ".join(pprint_expr(a) for a in s.args)
+        return f"{pad}{s.func}({args});"
+    if isinstance(s, A.If):
+        out = f"{pad}if ({pprint_expr(s.cond)})\n" + _pprint_block(s.then_body, depth)
+        if s.else_body:
+            out += f"\n{pad}else\n" + _pprint_block(s.else_body, depth)
+        return out
+    if isinstance(s, A.For):
+        hdr = (f"{pad}for ({s.init.name} = {pprint_expr(s.init.value)}; "
+               f"{pprint_expr(s.cond)}; "
+               f"{s.step.name} = {pprint_expr(s.step.value)})")
+        return hdr + "\n" + _pprint_block(s.body, depth)
+    if isinstance(s, A.While):
+        return (f"{pad}while ({pprint_expr(s.cond)})\n"
+                + _pprint_block(s.body, depth))
+    raise CompileError(f"cannot pretty-print statement {s!r}")
+
+
+def pprint_program(p: A.Program) -> str:
+    parts: list[str] = []
+    for agg in p.aggregates:
+        dims = "[]" * agg.rank
+        parts.append(f"aggregate {agg.name}({agg.base_type}){dims};")
+    for fn in p.functions:
+        params = ", ".join(
+            f"{prm.type_name} {prm.name}" + (" parallel" if prm.is_parallel else "")
+            for prm in fn.params
+        )
+        parts.append(f"parallel {fn.name}({params})\n" + _pprint_block(fn.body, 0))
+    parts.append("main()\n" + _pprint_block(p.main.body, 0))
+    return "\n\n".join(parts) + "\n"

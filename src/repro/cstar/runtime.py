@@ -1,0 +1,400 @@
+"""The C** data-parallel runtime on the simulated DSM machine.
+
+Aggregates (paper §4.1) are global collections that look like arrays of
+values.  The runtime:
+
+* allocates each aggregate in the machine's shared address space, with page
+  homes aligned to the computation distribution (so an invocation's "own"
+  element is home-local — the property the compiler's Home/Non-Home
+  classification relies on);
+* executes parallel calls with the two-pass model of DESIGN.md: the *value
+  pass* runs one invocation per element under copy-in (phase-snapshot)
+  semantics while recording each invocation's shared accesses; the recorded
+  per-processor traces are then replayed on the machine for timing;
+* issues the compiler-placed directives (``begin_group`` / ``end_group`` /
+  ``flush``) around phase groups.
+
+Invocation bodies receive an :class:`ElementContext` and use ``ctx.read`` /
+``ctx.write`` for aggregate elements and ``ctx.charge`` for compute cost.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Sequence
+
+import numpy as np
+
+from repro.tempest.machine import Machine, PhaseTrace
+from repro.tempest.tags import AccessTag
+from repro.util.errors import ConfigError, SimulationError
+
+# --------------------------------------------------------------------------- #
+# computation distributions (paper §4.1: block, row-block, tiled)
+# --------------------------------------------------------------------------- #
+
+
+class Distribution:
+    """Maps an element index to the processor that owns it."""
+
+    def owner(self, idx: tuple[int, ...]) -> int:
+        raise NotImplementedError
+
+    def validate(self, shape: tuple[int, ...]) -> None:
+        raise NotImplementedError
+
+
+@dataclass(frozen=True)
+class Block1D(Distribution):
+    """Contiguous chunks of a 1-D aggregate."""
+
+    n: int  # elements
+    nodes: int
+
+    def owner(self, idx: tuple[int, ...]) -> int:
+        per = -(-self.n // self.nodes)
+        return min(idx[0] // per, self.nodes - 1)
+
+    def validate(self, shape: tuple[int, ...]) -> None:
+        if len(shape) != 1 or shape[0] != self.n:
+            raise ConfigError(f"Block1D({self.n}) does not match shape {shape}")
+
+
+@dataclass(frozen=True)
+class RowBlock2D(Distribution):
+    """Contiguous row bands of a 2-D aggregate."""
+
+    rows: int
+    cols: int
+    nodes: int
+
+    def owner(self, idx: tuple[int, ...]) -> int:
+        per = -(-self.rows // self.nodes)
+        return min(idx[0] // per, self.nodes - 1)
+
+    def validate(self, shape: tuple[int, ...]) -> None:
+        if tuple(shape) != (self.rows, self.cols):
+            raise ConfigError(f"RowBlock2D does not match shape {shape}")
+
+
+@dataclass(frozen=True)
+class Tiled2D(Distribution):
+    """2-D tiles; the node grid is as square as the node count allows."""
+
+    rows: int
+    cols: int
+    nodes: int
+
+    def _grid(self) -> tuple[int, int]:
+        r = int(np.sqrt(self.nodes))
+        while self.nodes % r:
+            r -= 1
+        return r, self.nodes // r
+
+    def owner(self, idx: tuple[int, ...]) -> int:
+        gr, gc = self._grid()
+        tr = min(idx[0] * gr // max(self.rows, 1), gr - 1)
+        tc = min(idx[1] * gc // max(self.cols, 1), gc - 1)
+        return tr * gc + tc
+
+    def validate(self, shape: tuple[int, ...]) -> None:
+        if tuple(shape) != (self.rows, self.cols):
+            raise ConfigError(f"Tiled2D does not match shape {shape}")
+
+
+# --------------------------------------------------------------------------- #
+# aggregates
+# --------------------------------------------------------------------------- #
+
+_DTYPES = {"float": np.float64, "int": np.int64}
+ELEMENT_SIZE = 8  # bytes, both element types
+
+
+class Aggregate:
+    """One C** aggregate: data + layout + distribution."""
+
+    def __init__(
+        self,
+        runtime: "CStarRuntime",
+        name: str,
+        shape: tuple[int, ...],
+        dtype: str,
+        dist: Distribution,
+        home: str = "owner",
+        pad: int = 1,
+    ):
+        if dtype not in _DTYPES:
+            raise ConfigError(f"aggregate dtype must be float or int, got {dtype!r}")
+        if pad < 1:
+            raise ConfigError(f"pad must be >= 1, got {pad}")
+        if home not in ("owner", "round_robin"):
+            raise ConfigError(f"home policy must be 'owner' or 'round_robin', got {home!r}")
+        self.runtime = runtime
+        self.name = name
+        self.shape = tuple(shape)
+        self.dtype = dtype
+        self.dist = dist
+        dist.validate(self.shape)
+        self.data = np.zeros(self.shape, dtype=_DTYPES[dtype])
+        #: bytes per element; C** aggregate elements are class instances, so
+        #: an element may occupy more than one 8-byte value (pad models the
+        #: object's other members)
+        self.stride_bytes = ELEMENT_SIZE * pad
+        nbytes = int(np.prod(self.shape)) * self.stride_bytes
+        machine = runtime.machine
+        page = machine.config.page_size
+
+        if home == "owner":
+            # Home pages where their first element's owner lives: aligns home
+            # placement with the computation distribution.
+            def home_policy(page_idx: int, _self=self) -> int:
+                flat = page_idx * (page // _self.stride_bytes)
+                flat = min(flat, int(np.prod(_self.shape)) - 1)
+                return _self.dist.owner(_self._unflatten(flat))
+
+        else:
+            # Stache's default policy (round-robin pages): what a program
+            # "optimized for transparent shared memory" gets, with no
+            # owner-alignment (the Splash baseline in Figure 7).
+            def home_policy(page_idx: int, _n=machine.config.n_nodes) -> int:
+                return page_idx % _n
+
+        self.region = machine.addr_space.allocate(name, nbytes, home_policy)
+        # The home node of each block starts with the (writable) data.
+        first = machine.addr_space.block_of(self.region.base)
+        nblocks = self.region.size // machine.config.block_size
+        for b in range(first, first + nblocks):
+            machine.nodes[machine.home(b)].tags.set(b, AccessTag.READ_WRITE)
+        # hot-path precomputation: row-major strides and block arithmetic.
+        # An element (8 B) never straddles blocks: block_size >= 32 and the
+        # page-aligned region base is block-aligned.
+        strides = []
+        acc = 1
+        for dim in reversed(self.shape):
+            strides.append(acc)
+            acc *= dim
+        self._strides = tuple(reversed(strides))
+        self._nelems = acc
+        self._block_shift = machine.config.block_size.bit_length() - 1
+        self._base = self.region.base
+
+    # -- layout ----------------------------------------------------------------
+
+    def _unflatten(self, flat: int) -> tuple[int, ...]:
+        return tuple(int(v) for v in np.unravel_index(flat, self.shape))
+
+    def flatten(self, idx: tuple[int, ...]) -> int:
+        if len(idx) != len(self.shape):
+            raise SimulationError(
+                f"{self.name}: {len(self.shape)}-D aggregate indexed with {idx}"
+            )
+        flat = 0
+        for v, dim, stride in zip(idx, self.shape, self._strides):
+            if not 0 <= v < dim:
+                raise SimulationError(
+                    f"{self.name}: index {idx} out of bounds {self.shape}"
+                )
+            flat += v * stride
+        return flat
+
+    def element_block(self, idx: tuple[int, ...]) -> int:
+        """The cache block holding element ``idx`` (hot path).
+
+        With pad > 1 an element may span blocks; the trace records the block
+        of its first byte, which is the faulting access in practice."""
+        return (self._base + self.flatten(idx) * self.stride_bytes) >> self._block_shift
+
+    def addr(self, idx: tuple[int, ...]) -> int:
+        return self.region.base + self.flatten(idx) * self.stride_bytes
+
+    def blocks(self, idx: tuple[int, ...]) -> range:
+        return self.runtime.machine.addr_space.blocks_of_range(
+            self.addr(idx), self.stride_bytes
+        )
+
+    def owner(self, idx: tuple[int, ...]) -> int:
+        return self.dist.owner(idx)
+
+    def elements(self):
+        """All element indices, row-major."""
+        return np.ndindex(*self.shape)
+
+    def __repr__(self) -> str:
+        return f"<Aggregate {self.name}{list(self.shape)} {self.dtype}>"
+
+
+# --------------------------------------------------------------------------- #
+# element context (what a parallel-function invocation sees)
+# --------------------------------------------------------------------------- #
+
+
+class ElementContext:
+    """Per-invocation view: position pseudo-variables, reads/writes, cost.
+
+    Reads observe the phase-entry snapshot (C**'s copy-in semantics make
+    parallel execution nearly deterministic); writes are buffered and applied
+    at phase end.
+    """
+
+    __slots__ = ("runtime", "pos", "node", "_ops", "_pending")
+
+    def __init__(self, runtime: "CStarRuntime", pos: tuple[int, ...], node: int, ops: list):
+        self.runtime = runtime
+        self.pos = pos
+        self.node = node
+        self._ops = ops
+        self._pending = 0.0
+
+    def charge(self, cycles: float) -> None:
+        """Model computation cost (cycles at full speed)."""
+        if cycles > 0:
+            self._pending += cycles
+
+    def _flush_compute(self) -> None:
+        if self._pending > 0:
+            self._ops.append(("c", self._pending))
+            self._pending = 0.0
+
+    def read(self, agg: Aggregate, idx: tuple[int, ...]) -> float:
+        if self._pending > 0:
+            self._ops.append(("c", self._pending))
+            self._pending = 0.0
+        self._ops.append(("r", agg.element_block(idx)))
+        snap = self.runtime._snapshot.get(agg.name)
+        arr = snap if snap is not None else agg.data
+        return arr[idx]
+
+    def write(self, agg: Aggregate, idx: tuple[int, ...], value) -> None:
+        if self._pending > 0:
+            self._ops.append(("c", self._pending))
+            self._pending = 0.0
+        self._ops.append(("w", agg.element_block(idx)))
+        self.runtime._writes.append((agg, tuple(int(i) for i in idx), value, False))
+
+    def update(self, agg: Aggregate, idx: tuple[int, ...], delta) -> None:
+        """Read-modify-write accumulation (e.g. `force[j] += f`).
+
+        Used by shared-memory codes that accumulate into other elements'
+        state (SPLASH-style paired force updates); deltas commute, so the
+        value pass applies them associatively while the trace records the
+        read+write the protocol must serialize.
+        """
+        if self._pending > 0:
+            self._ops.append(("c", self._pending))
+            self._pending = 0.0
+        block = agg.element_block(idx)
+        self._ops.append(("r", block))
+        self._ops.append(("w", block))
+        self.runtime._writes.append((agg, tuple(int(i) for i in idx), delta, True))
+
+
+# --------------------------------------------------------------------------- #
+# the runtime
+# --------------------------------------------------------------------------- #
+
+#: Invocation body: body(ctx) — position available as ctx.pos.
+Body = Callable[[ElementContext], None]
+
+
+class CStarRuntime:
+    """Executes data-parallel programs on a simulated machine."""
+
+    def __init__(self, machine: Machine):
+        self.machine = machine
+        self.aggregates: dict[str, Aggregate] = {}
+        self._snapshot: dict[str, np.ndarray] = {}
+        self._writes: list[tuple[Aggregate, tuple[int, ...], object]] = []
+        self.phase_count = 0
+
+    # -- aggregate management --------------------------------------------------
+
+    def aggregate(
+        self,
+        name: str,
+        shape: Sequence[int],
+        dtype: str = "float",
+        dist: Distribution | None = None,
+        home: str = "owner",
+        pad: int = 1,
+    ) -> Aggregate:
+        shape = tuple(int(s) for s in shape)
+        if dist is None:
+            n = self.machine.config.n_nodes
+            if len(shape) == 1:
+                dist = Block1D(shape[0], n)
+            elif len(shape) == 2:
+                dist = RowBlock2D(shape[0], shape[1], n)
+            else:
+                raise ConfigError(
+                    f"no default distribution for {len(shape)}-D aggregate {name!r}"
+                )
+        agg = Aggregate(self, name, shape, dtype, dist, home=home, pad=pad)
+        self.aggregates[name] = agg
+        return agg
+
+    # -- directives --------------------------------------------------------------
+
+    def begin_group(self, directive_id: int) -> None:
+        self.machine.begin_group(directive_id)
+
+    def end_group(self) -> None:
+        self.machine.end_group()
+
+    def flush_schedule(self, directive_id: int) -> None:
+        flush = getattr(self.machine.protocol, "flush_schedule", None)
+        if flush is not None:
+            flush(directive_id)
+
+    # -- parallel invocation ---------------------------------------------------------
+
+    def par_call(
+        self,
+        body: Body,
+        over: Aggregate,
+        snapshot_of: Sequence[Aggregate] = (),
+        name: str = "parallel",
+        elements=None,
+    ) -> PhaseTrace:
+        """Invoke ``body`` once per element of ``over`` (value pass), then
+        replay the recorded traces on the machine (timing pass).
+
+        ``snapshot_of`` lists the aggregates whose phase-entry values reads
+        must observe; ``over`` is always included.  ``elements`` restricts
+        the invocation set (used by applications with active-element lists,
+        e.g. red-black sweeps).
+        """
+        n_nodes = self.machine.config.n_nodes
+        ops: list[list] = [[] for _ in range(n_nodes)]
+
+        snapshots = {over.name: over.data.copy()}
+        for agg in snapshot_of:
+            snapshots.setdefault(agg.name, agg.data.copy())
+        self._snapshot = snapshots
+        self._writes = []
+
+        element_iter = elements if elements is not None else over.elements()
+        for idx in element_iter:
+            idx = tuple(int(i) for i in idx)
+            node = over.owner(idx)
+            ctx = ElementContext(self, idx, node, ops[node])
+            body(ctx)
+            ctx._flush_compute()
+
+        # apply buffered writes (phase-end visibility)
+        for agg, idx, value, accumulate in self._writes:
+            if accumulate:
+                agg.data[idx] += value
+            else:
+                agg.data[idx] = value
+        self._snapshot = {}
+        self._writes = []
+
+        self.phase_count += 1
+        trace = PhaseTrace(f"{name}#{self.phase_count}", ops)
+        self.machine.run_phase(trace)
+        return trace
+
+    # -- finishing -----------------------------------------------------------------
+
+    def finish(self):
+        return self.machine.finish()

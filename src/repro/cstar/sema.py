@@ -1,0 +1,364 @@
+"""Semantic analysis for the C** mini-language.
+
+Two jobs:
+
+1. **Checking** — names resolve, arities match, aggregates are indexed with
+   the right rank, position pseudo-variables stay within the parallel
+   parameter's rank, main never touches aggregate elements directly.
+2. **Access-pattern analysis** (paper §4.2) — produce each parallel
+   function's :class:`~repro.cstar.access.AccessSummary`: every aggregate
+   element access is classified Home (the invocation's own element: the
+   parallel parameter indexed by exactly ``[#0][#1]...``) or Non-Home
+   (everything else — neighbor offsets, indirection, other aggregates),
+   and Read or Write.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.cstar import astnodes as A
+from repro.cstar.access import Access, AccessKind, AccessSummary, Locality
+from repro.util.errors import CompileError
+
+
+@dataclass
+class FunctionInfo:
+    decl: A.ParallelDecl
+    summary: AccessSummary
+    #: param name -> aggregate type name (None for scalar params)
+    agg_params: dict[str, str]
+    parallel_param: str
+
+
+@dataclass
+class ProgramInfo:
+    program: A.Program
+    agg_decls: dict[str, A.AggregateDecl]
+    functions: dict[str, FunctionInfo]
+
+
+def analyze(program: A.Program) -> ProgramInfo:
+    agg_decls = {}
+    for d in program.aggregates:
+        if d.name in agg_decls:
+            raise CompileError(f"duplicate aggregate type {d.name!r}")
+        agg_decls[d.name] = d
+
+    functions: dict[str, FunctionInfo] = {}
+    for f in program.functions:
+        if f.name in functions:
+            raise CompileError(f"duplicate parallel function {f.name!r}")
+        functions[f.name] = _analyze_function(f, agg_decls)
+
+    _check_main(program.main, agg_decls, functions)
+    return ProgramInfo(program, agg_decls, functions)
+
+
+# --------------------------------------------------------------------------- #
+# parallel functions
+# --------------------------------------------------------------------------- #
+
+
+def _is_own_indices(indices: tuple[A.Node, ...], rank: int) -> bool:
+    """True iff the index list is exactly ``[#0][#1]...[#rank-1]``."""
+    if len(indices) != rank:
+        return False
+    return all(
+        isinstance(e, A.Pos) and e.dim == i for i, e in enumerate(indices)
+    )
+
+
+def _analyze_function(
+    decl: A.ParallelDecl, agg_decls: dict[str, A.AggregateDecl]
+) -> FunctionInfo:
+    agg_params: dict[str, str] = {}
+    scalar_params: set[str] = set()
+    for p in decl.params:
+        if p.type_name in ("float", "int"):
+            if p.is_parallel:
+                raise CompileError(
+                    f"{decl.name}: scalar parameter {p.name!r} cannot be parallel"
+                )
+            scalar_params.add(p.name)
+        elif p.type_name in agg_decls:
+            agg_params[p.name] = p.type_name
+        else:
+            raise CompileError(
+                f"{decl.name}: unknown parameter type {p.type_name!r}"
+            )
+
+    # the parallel parameter: explicit keyword, else the first aggregate param
+    parallel_param = None
+    for p in decl.params:
+        if p.is_parallel:
+            if p.name not in agg_params:
+                raise CompileError(f"{decl.name}: parallel parameter must be an aggregate")
+            parallel_param = p.name
+            break
+    if parallel_param is None:
+        for p in decl.params:
+            if p.name in agg_params:
+                parallel_param = p.name
+                break
+    if parallel_param is None:
+        raise CompileError(f"{decl.name}: no aggregate parameter to parallelize over")
+
+    own_rank = agg_decls[agg_params[parallel_param]].rank
+    summary = AccessSummary(decl.name)
+    locals_: set[str] = set(scalar_params)
+
+    def classify(index: A.Index) -> Locality:
+        if index.aggregate == parallel_param and _is_own_indices(index.indices, own_rank):
+            return Locality.HOME
+        return Locality.NON_HOME
+
+    def check_index(index: A.Index) -> None:
+        if index.aggregate not in agg_params:
+            raise CompileError(
+                f"{decl.name}: {index.aggregate!r} is not an aggregate parameter"
+            )
+        rank = agg_decls[agg_params[index.aggregate]].rank
+        if len(index.indices) != rank:
+            raise CompileError(
+                f"{decl.name}: {index.aggregate!r} has rank {rank}, indexed "
+                f"with {len(index.indices)} subscripts"
+            )
+        for e in index.indices:
+            walk_expr(e)
+
+    def walk_expr(e: A.Node) -> None:
+        if isinstance(e, A.Num):
+            return
+        if isinstance(e, A.Pos):
+            if e.dim >= own_rank:
+                raise CompileError(
+                    f"{decl.name}: #{e.dim} exceeds the parallel aggregate's "
+                    f"rank {own_rank}"
+                )
+            return
+        if isinstance(e, A.Name):
+            if e.ident in agg_params:
+                raise CompileError(
+                    f"{decl.name}: aggregate {e.ident!r} used without subscripts"
+                )
+            if e.ident not in locals_:
+                raise CompileError(f"{decl.name}: undefined variable {e.ident!r}")
+            return
+        if isinstance(e, A.Index):
+            check_index(e)
+            summary.add(Access(e.aggregate, AccessKind.READ, classify(e)))
+            return
+        if isinstance(e, A.BinOp):
+            walk_expr(e.left)
+            walk_expr(e.right)
+            return
+        if isinstance(e, A.UnOp):
+            walk_expr(e.operand)
+            return
+        if isinstance(e, A.Intrinsic):
+            from repro.cstar.parser import REDUCE_OPS
+
+            if e.func in REDUCE_OPS:
+                raise CompileError(
+                    f"{decl.name}: reductions are main-level operations"
+                )
+            for a in e.args:
+                walk_expr(a)
+            return
+        raise CompileError(f"{decl.name}: unexpected expression {e!r}")
+
+    def walk_stmt(s: A.Node) -> None:
+        if isinstance(s, A.Let):
+            walk_expr(s.value)
+            locals_.add(s.name)
+            return
+        if isinstance(s, A.AssignVar):
+            if s.name not in locals_:
+                raise CompileError(
+                    f"{decl.name}: assignment to undeclared variable {s.name!r}"
+                )
+            walk_expr(s.value)
+            return
+        if isinstance(s, A.AssignElem):
+            check_index(s.target)
+            walk_expr(s.value)
+            summary.add(
+                Access(s.target.aggregate, AccessKind.WRITE, classify(s.target))
+            )
+            return
+        if isinstance(s, A.If):
+            walk_expr(s.cond)
+            for b in s.then_body:
+                walk_stmt(b)
+            for b in s.else_body:
+                walk_stmt(b)
+            return
+        if isinstance(s, A.For):
+            locals_.add(s.init.name)
+            walk_expr(s.init.value)
+            walk_expr(s.cond)
+            walk_expr(s.step.value)
+            for b in s.body:
+                walk_stmt(b)
+            return
+        if isinstance(s, A.While):
+            walk_expr(s.cond)
+            for b in s.body:
+                walk_stmt(b)
+            return
+        if isinstance(s, (A.ParCallStmt, A.NewAggregate)):
+            raise CompileError(
+                f"{decl.name}: nested parallel calls / aggregate creation are "
+                f"not allowed in parallel functions"
+            )
+        raise CompileError(f"{decl.name}: unexpected statement {s!r}")
+
+    for s in decl.body:
+        walk_stmt(s)
+
+    return FunctionInfo(
+        decl=decl,
+        summary=summary,
+        agg_params=dict(agg_params),
+        parallel_param=parallel_param,
+    )
+
+
+# --------------------------------------------------------------------------- #
+# main
+# --------------------------------------------------------------------------- #
+
+
+def _check_main(
+    main: A.MainDecl,
+    agg_decls: dict[str, A.AggregateDecl],
+    functions: dict[str, FunctionInfo],
+) -> None:
+    from repro.cstar.parser import REDUCE_OPS
+
+    scalars: set[str] = set()
+    agg_vars: dict[str, str] = {}  # var name -> aggregate type
+
+    def walk_expr(e: A.Node, allow_reduce: bool = True) -> None:
+        if isinstance(e, A.Num):
+            return
+        if isinstance(e, A.Name):
+            if e.ident in agg_vars:
+                raise CompileError(
+                    f"main: aggregate {e.ident!r} used in a scalar expression"
+                )
+            if e.ident not in scalars:
+                raise CompileError(f"main: undefined variable {e.ident!r}")
+            return
+        if isinstance(e, A.Pos):
+            raise CompileError("main: position pseudo-variables only exist in parallel functions")
+        if isinstance(e, A.Index):
+            raise CompileError(
+                "main: aggregate elements may only be accessed in parallel functions"
+            )
+        if isinstance(e, A.BinOp):
+            walk_expr(e.left, allow_reduce)
+            walk_expr(e.right, allow_reduce)
+            return
+        if isinstance(e, A.UnOp):
+            walk_expr(e.operand, allow_reduce)
+            return
+        if isinstance(e, A.Intrinsic):
+            if e.func in REDUCE_OPS:
+                if not allow_reduce:
+                    raise CompileError(
+                        "main: reductions are not allowed inside parallel "
+                        "call arguments"
+                    )
+                if len(e.args) != 1 or not isinstance(e.args[0], A.Name):
+                    raise CompileError(
+                        f"main: {e.func} takes exactly one aggregate argument"
+                    )
+                if e.args[0].ident not in agg_vars:
+                    raise CompileError(
+                        f"main: {e.func} argument must be an aggregate"
+                    )
+                return
+            for a in e.args:
+                walk_expr(a, allow_reduce)
+            return
+        raise CompileError(f"main: unexpected expression {e!r}")
+
+    def walk_stmt(s: A.Node) -> None:
+        if isinstance(s, A.Let):
+            walk_expr(s.value)
+            scalars.add(s.name)
+            return
+        if isinstance(s, A.AssignVar):
+            if s.name not in scalars:
+                raise CompileError(f"main: assignment to undeclared variable {s.name!r}")
+            walk_expr(s.value)
+            return
+        if isinstance(s, A.AssignElem):
+            raise CompileError(
+                "main: aggregate elements may only be written in parallel functions"
+            )
+        if isinstance(s, A.NewAggregate):
+            if s.type_name not in agg_decls:
+                raise CompileError(f"main: unknown aggregate type {s.type_name!r}")
+            if s.name in agg_vars or s.name in scalars:
+                raise CompileError(f"main: {s.name!r} redeclared")
+            rank = agg_decls[s.type_name].rank
+            if len(s.dims) != rank:
+                raise CompileError(
+                    f"main: {s.type_name} has rank {rank}, got {len(s.dims)} dimensions"
+                )
+            for d in s.dims:
+                walk_expr(d)
+            agg_vars[s.name] = s.type_name
+            return
+        if isinstance(s, A.If):
+            walk_expr(s.cond)
+            for b in s.then_body:
+                walk_stmt(b)
+            for b in s.else_body:
+                walk_stmt(b)
+            return
+        if isinstance(s, A.For):
+            scalars.add(s.init.name)
+            walk_expr(s.init.value)
+            walk_expr(s.cond)
+            if s.step.name not in scalars:
+                raise CompileError(f"main: for-step assigns undeclared {s.step.name!r}")
+            walk_expr(s.step.value)
+            for b in s.body:
+                walk_stmt(b)
+            return
+        if isinstance(s, A.While):
+            walk_expr(s.cond)
+            for b in s.body:
+                walk_stmt(b)
+            return
+        if isinstance(s, A.ParCallStmt):
+            info = functions.get(s.func)
+            if info is None:
+                raise CompileError(f"main: call to unknown parallel function {s.func!r}")
+            params = info.decl.params
+            if len(s.args) != len(params):
+                raise CompileError(
+                    f"main: {s.func} takes {len(params)} arguments, got {len(s.args)}"
+                )
+            for arg, p in zip(s.args, params):
+                if p.name in info.agg_params:
+                    if not isinstance(arg, A.Name) or arg.ident not in agg_vars:
+                        raise CompileError(
+                            f"main: argument for {s.func}.{p.name} must be an aggregate"
+                        )
+                    if agg_vars[arg.ident] != p.type_name:
+                        raise CompileError(
+                            f"main: {s.func}.{p.name} expects {p.type_name}, "
+                            f"got {agg_vars[arg.ident]}"
+                        )
+                else:
+                    walk_expr(arg, allow_reduce=False)
+            return
+        raise CompileError(f"main: unexpected statement {s!r}")
+
+    for s in main.body:
+        walk_stmt(s)

@@ -1,0 +1,33 @@
+"""Coherence protocols, written in a Teapot-style state-machine framework.
+
+* :mod:`repro.protocols.teapot` — the framework (states, transition tables,
+  dispatch), standing in for the Teapot protocol language [Chandra et al.,
+  PLDI'96] the paper used to develop its protocols.
+* :mod:`repro.protocols.stache` — Blizzard's default sequentially-consistent
+  directory-based write-invalidate protocol (paper §3.1).
+* :mod:`repro.protocols.writeupdate` — a write-update protocol standing in
+  for the hand-written application-specific protocols of Falsafi et al.
+  [SC'94], used by the SPMD Barnes baseline (paper §5.2).
+
+The paper's own contribution — the predictive protocol — is a delta over
+Stache and lives in :mod:`repro.core.predictive`.
+"""
+
+from repro.protocols.messages import MessageKind
+from repro.protocols.teapot import ProtocolStateMachine, transition
+from repro.protocols.directory import DirState, DirEntry, Directory
+from repro.protocols.base import BaseProtocol
+from repro.protocols.stache import StacheProtocol
+from repro.protocols.writeupdate import WriteUpdateProtocol
+
+__all__ = [
+    "MessageKind",
+    "ProtocolStateMachine",
+    "transition",
+    "DirState",
+    "DirEntry",
+    "Directory",
+    "BaseProtocol",
+    "StacheProtocol",
+    "WriteUpdateProtocol",
+]

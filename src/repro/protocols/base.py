@@ -1,0 +1,267 @@
+"""Infrastructure shared by all coherence protocols.
+
+:class:`BaseProtocol` implements the Tempest-side mechanics every protocol
+needs — fault vectoring, message delivery with handler occupancy, the
+cache-side handlers (invalidate / recall / data-install), and processor
+resumption — leaving subclasses to declare home-side directory transitions
+in teapot style.
+
+Timing discipline: a message delivered at time *t* first occupies the
+destination's handler resource (FIFO), and all of its *effects* (tag changes,
+directory updates, outgoing messages) take place at the handler-completion
+time, scheduled through the event engine so effects interleave correctly
+with other nodes' activity.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+from repro.protocols.directory import Directory, DirEntry, DirState, PendingRequest
+from repro.protocols.messages import MessageKind as MK
+from repro.protocols.teapot import ProtocolStateMachine
+from repro.tempest.network import Message
+from repro.tempest.tags import AccessTag
+from repro.util.errors import ProtocolError
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.tempest.machine import Machine, ReplayProcessor
+
+
+class BaseProtocol(ProtocolStateMachine):
+    """Common protocol plumbing over a :class:`~repro.tempest.machine.Machine`."""
+
+    name = "base"
+
+    def __init__(self, machine: "Machine") -> None:
+        self.machine = machine
+        self.config = machine.config
+        self.directory = Directory(machine.home)
+        #: node -> (processor, block, access kind) for the one outstanding fault
+        self.outstanding: dict[int, tuple["ReplayProcessor", int, str]] = {}
+        #: invalidations/recalls that overtook the data message they chase;
+        #: serviced right after the data installs (see cache_install)
+        self._deferred: dict[tuple[int, int], list[Message]] = {}
+
+    # -- fault vectoring ---------------------------------------------------------
+
+    def fault(self, proc: "ReplayProcessor", block: int, kind: str, t: float) -> None:
+        """An access the local tag does not permit, vectored to the protocol."""
+        node = proc.node.id
+        if node in self.outstanding:
+            raise ProtocolError(f"node {node} faulted with a fault outstanding")
+        self.outstanding[node] = (proc, block, kind)
+        self.machine.stats.total_remote_requests += 1
+        req = MK.GET_RO if kind == "r" else MK.GET_RW
+        t_req = t + self.config.fault_cost
+        home = self.machine.home(block)
+        if home == node:
+            # Local fault at the home node: no network, but the request still
+            # runs through the home's protocol handler.
+            self._deliver_local(node, block, req, t_req)
+        else:
+            self.send(Message(req, src=node, dst=home, block=block), t_req)
+
+    def _deliver_local(self, node: int, block: int, kind: str, t: float) -> None:
+        cost = self.config.handler_cost + self.config.directory_lookup_cost
+        done = self.machine.node(node).service_handler(t, cost)
+        msg = Message(kind, src=node, dst=node, block=block)
+        self.machine.engine.schedule(done, lambda: self._handle(msg, done))
+
+    # -- message plumbing -----------------------------------------------------------
+
+    def send(self, msg: Message, at: float) -> float:
+        return self.machine.send(msg, at)
+
+    def handler_cost_for(self, msg: Message) -> float:
+        cost = self.config.handler_cost
+        if msg.kind in MK.REQUESTS or msg.kind in MK.HOLDER_TO_HOME:
+            cost += self.config.directory_lookup_cost
+        if msg.bulk:
+            # per-block install cost for coalesced transfers
+            cost += self.config.presend_entry_cost * len(msg.info.get("blocks", ()))
+        return cost
+
+    def on_message(self, msg: Message, t: float) -> None:
+        done = self.machine.node(msg.dst).service_handler(t, self.handler_cost_for(msg))
+        self.machine.engine.schedule(done, lambda: self._handle(msg, done))
+
+    def _handle(self, msg: Message, t: float) -> None:
+        """Route a serviced message; ``t`` is the effect time."""
+        kind = msg.kind
+        if kind in MK.REQUESTS or kind in MK.HOLDER_TO_HOME:
+            entry = self.directory.entry(msg.block)
+            if entry.home != msg.dst:
+                raise ProtocolError(f"{msg} arrived at non-home node {msg.dst}")
+            self.dispatch(entry, kind, msg, t)
+            self._drain_pending(entry, t)
+        elif kind == MK.INV:
+            self.cache_invalidate(msg, t)
+        elif kind in (MK.RECALL_RO, MK.RECALL_INV):
+            self.cache_recall(msg, t)
+        elif kind in (MK.DATA_RO, MK.DATA_RW):
+            self.cache_install(msg, t)
+        else:
+            self.handle_extra(msg, t)
+
+    def handle_extra(self, msg: Message, t: float) -> None:
+        """Hook for protocol-specific message kinds."""
+        raise ProtocolError(f"{type(self).__name__} cannot handle {msg}")
+
+    # -- cache-side handlers -----------------------------------------------------------
+
+    def _defer(self, msg: Message) -> None:
+        self._deferred.setdefault((msg.dst, msg.block), []).append(msg)
+
+    def _chasing_data(self, msg: Message) -> bool:
+        out = self.outstanding.get(msg.dst)
+        return out is not None and out[1] == msg.block
+
+    def cache_invalidate(self, msg: Message, t: float) -> None:
+        tags = self.machine.node(msg.dst).tags
+        if tags.get(msg.block) is AccessTag.INVALID and self._chasing_data(msg):
+            # The INV overtook the DATA message that makes this node a
+            # sharer (control messages are lighter than payload messages).
+            # Defer until the data installs.  NOTE the tag check: a node
+            # that still holds a readable copy but has an outstanding
+            # *upgrade* fault queued at the busy home must ACK immediately,
+            # or home-waits-for-ACK / ACK-waits-for-grant deadlocks.
+            self._defer(msg)
+            return
+        tags.invalidate(msg.block)
+        self.send(Message(MK.ACK, src=msg.dst, dst=msg.src, block=msg.block), t)
+
+    def cache_recall(self, msg: Message, t: float) -> None:
+        tags = self.machine.node(msg.dst).tags
+        if tags.get(msg.block) is not AccessTag.READ_WRITE:
+            if self._chasing_data(msg):
+                self._defer(msg)  # recall overtook the DATA_RW grant
+                return
+            raise ProtocolError(f"recall {msg} at non-owner {msg.dst}")
+        tags.invalidate(msg.block)
+        self.send(
+            Message(
+                MK.WB_DATA,
+                src=msg.dst,
+                dst=msg.src,
+                block=msg.block,
+                payload_bytes=self.config.block_size,
+            ),
+            t,
+        )
+
+    def cache_install(self, msg: Message, t: float) -> None:
+        tags = self.machine.node(msg.dst).tags
+        tag = AccessTag.READ_ONLY if msg.kind == MK.DATA_RO else AccessTag.READ_WRITE
+        tags.set(msg.block, tag)
+        self.complete_fault(msg.dst, msg.block, t)
+        # Service invalidations/recalls that arrived ahead of this data:
+        # the faulting access has completed; the copy is now surrendered.
+        for deferred in self._deferred.pop((msg.dst, msg.block), []):
+            self._handle_deferred(deferred, t)
+
+    def _handle_deferred(self, msg: Message, t: float) -> None:
+        if msg.kind == MK.INV:
+            self.cache_invalidate(msg, t)
+        elif msg.kind in (MK.RECALL_RO, MK.RECALL_INV):
+            # The freshly-installed copy may be RO (the recall chased a
+            # DATA_RO upgrade race); surrender whatever we hold.
+            tags = self.machine.node(msg.dst).tags
+            tags.invalidate(msg.block)
+            self.send(
+                Message(
+                    MK.WB_DATA,
+                    src=msg.dst,
+                    dst=msg.src,
+                    block=msg.block,
+                    payload_bytes=self.config.block_size,
+                ),
+                t,
+            )
+        else:  # pragma: no cover - defensive
+            raise ProtocolError(f"cannot defer {msg}")
+
+    # -- processor resumption -------------------------------------------------------------
+
+    def complete_fault(self, node: int, block: int, t: float) -> None:
+        out = self.outstanding.pop(node, None)
+        if out is None:
+            raise ProtocolError(f"data for node {node} with no outstanding fault")
+        proc, fault_block, _kind = out
+        if fault_block != block:
+            raise ProtocolError(
+                f"node {node} received block {block} while waiting on {fault_block}"
+            )
+        proc.resume(t)
+
+    # -- grant helpers (used by home-side transitions) ---------------------------------------
+
+    def grant_ro(self, entry: DirEntry, requester: int, t: float) -> None:
+        """Give ``requester`` a read-only copy from home memory."""
+        home_tags = self.machine.node(entry.home).tags
+        if requester == entry.home:
+            # Local read grant: home regains (at least) read permission.
+            if home_tags.get(entry.block) is AccessTag.INVALID:
+                raise ProtocolError(f"home read grant without data: {entry}")
+            self.complete_fault(requester, entry.block, t)
+        else:
+            home_tags.downgrade(entry.block)
+            entry.sharers.add(requester)
+            entry.state = DirState.SHARED
+            self.send(
+                Message(
+                    MK.DATA_RO,
+                    src=entry.home,
+                    dst=requester,
+                    block=entry.block,
+                    payload_bytes=self.config.block_size,
+                ),
+                t,
+            )
+
+    def grant_rw(self, entry: DirEntry, requester: int, t: float) -> None:
+        """Give ``requester`` the writable copy (all other copies are gone)."""
+        home_tags = self.machine.node(entry.home).tags
+        entry.sharers.clear()
+        if requester == entry.home:
+            entry.owner = None
+            entry.state = DirState.IDLE
+            home_tags.set(entry.block, AccessTag.READ_WRITE)
+            self.complete_fault(requester, entry.block, t)
+        else:
+            entry.owner = requester
+            entry.state = DirState.EXCLUSIVE
+            home_tags.invalidate(entry.block)
+            self.send(
+                Message(
+                    MK.DATA_RW,
+                    src=entry.home,
+                    dst=requester,
+                    block=entry.block,
+                    payload_bytes=self.config.block_size,
+                ),
+                t,
+            )
+
+    # -- pending-queue management ------------------------------------------------------------
+
+    def queue_pending(self, entry: DirEntry, msg: Message) -> None:
+        entry.pending.append(PendingRequest(kind=msg.kind, requester=msg.src))
+
+    def _drain_pending(self, entry: DirEntry, t: float) -> None:
+        """Re-dispatch queued requests once the entry is stable again."""
+        while entry.pending and entry.state in DirState.STABLE:
+            req = entry.pending.popleft()
+            synthetic = Message(req.kind, src=req.requester, dst=entry.home, block=entry.block)
+            self.dispatch(entry, req.kind, synthetic, t)
+
+    # -- phase-group hooks (overridden by the predictive protocol) ------------------------------
+
+    def begin_group(self, directive_id: int, t: float) -> list[float] | None:
+        return None
+
+    def end_group(self, directive_id: int, t: float) -> None:
+        return None
+
+    def adjust_barrier(self, arrivals: dict[int, float]) -> dict[int, float]:
+        return arrivals

@@ -1,0 +1,123 @@
+"""Directory state kept at each block's home node.
+
+"Each shared-memory cache block in the system is mapped to its home node,
+where it resides initially.  The home node also maintains a block's directory
+information, which lists multiple readers or a single writer, and is used to
+maintain consistency." (paper §3.1)
+
+Stable states:
+
+* ``IDLE``      — only the home's own copy exists (home tag READ_WRITE).
+* ``SHARED``    — home has data (home tag READ_ONLY); ``sharers`` hold
+  read-only copies.
+* ``EXCLUSIVE`` — a single remote ``owner`` holds the writable copy; the
+  home's own tag is INVALID.
+
+Transient states (a request is in flight against this block; later requests
+queue in ``pending``):
+
+* ``BUSY_RECALL_RO``  — awaiting WB_DATA so a read can be satisfied.
+* ``BUSY_RECALL_RW``  — awaiting WB_DATA so a write can be satisfied.
+* ``BUSY_INV``        — awaiting invalidation ACKs before granting RW.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Deque
+
+from repro.util.errors import ProtocolError
+
+
+class DirState:
+    IDLE = "IDLE"
+    SHARED = "SHARED"
+    EXCLUSIVE = "EXCLUSIVE"
+    BUSY_RECALL_RO = "BUSY_RECALL_RO"
+    BUSY_RECALL_RW = "BUSY_RECALL_RW"
+    BUSY_INV = "BUSY_INV"
+
+    STABLE = frozenset({IDLE, SHARED, EXCLUSIVE})
+    BUSY = frozenset({BUSY_RECALL_RO, BUSY_RECALL_RW, BUSY_INV})
+
+
+@dataclass
+class PendingRequest:
+    """A request queued while the directory entry is busy."""
+
+    kind: str  # GET_RO / GET_RW
+    requester: int
+
+
+@dataclass
+class DirEntry:
+    """Directory record for one block."""
+
+    block: int
+    home: int
+    state: str = DirState.IDLE
+    sharers: set[int] = field(default_factory=set)
+    owner: int | None = None
+    #: requester being serviced while in a BUSY state
+    in_service: int | None = None
+    acks_needed: int = 0
+    pending: Deque[PendingRequest] = field(default_factory=deque)
+
+    def check_invariants(self) -> None:
+        """Sanity rules that hold in every stable state (tested heavily)."""
+        if self.state == DirState.IDLE:
+            if self.sharers or self.owner is not None:
+                raise ProtocolError(f"IDLE entry with copies: {self}")
+        elif self.state == DirState.SHARED:
+            if not self.sharers:
+                raise ProtocolError(f"SHARED entry without sharers: {self}")
+            if self.owner is not None:
+                raise ProtocolError(f"SHARED entry with owner: {self}")
+            if self.home in self.sharers:
+                raise ProtocolError(f"home listed as its own sharer: {self}")
+        elif self.state == DirState.EXCLUSIVE:
+            if self.owner is None or self.sharers:
+                raise ProtocolError(f"EXCLUSIVE entry malformed: {self}")
+            if self.owner == self.home:
+                raise ProtocolError(f"home as remote owner: {self}")
+        elif self.state in DirState.BUSY:
+            if self.in_service is None:
+                raise ProtocolError(f"busy entry with no request in service: {self}")
+        else:
+            raise ProtocolError(f"unknown directory state: {self}")
+
+    def __repr__(self) -> str:
+        own = f" owner={self.owner}" if self.owner is not None else ""
+        shr = f" sharers={sorted(self.sharers)}" if self.sharers else ""
+        pend = f" pending={len(self.pending)}" if self.pending else ""
+        return f"<Dir blk={self.block}@{self.home} {self.state}{own}{shr}{pend}>"
+
+
+class Directory:
+    """All directory entries owned by the protocol instance.
+
+    Entries are created lazily in IDLE: until the first remote request,
+    a block exists only as home memory.
+    """
+
+    def __init__(self, home_of) -> None:
+        self._home_of = home_of
+        self._entries: dict[int, DirEntry] = {}
+
+    def entry(self, block: int) -> DirEntry:
+        e = self._entries.get(block)
+        if e is None:
+            e = DirEntry(block=block, home=self._home_of(block))
+            self._entries[block] = e
+        return e
+
+    def known(self) -> list[DirEntry]:
+        return list(self._entries.values())
+
+    def check_all(self) -> None:
+        for e in self._entries.values():
+            e.check_invariants()
+
+    def __len__(self) -> int:
+        return len(self._entries)

@@ -1,0 +1,46 @@
+"""Protocol message kinds.
+
+String constants (not an enum) so :class:`repro.tempest.network.Message`
+stays trivially constructible in tests; ``MessageKind`` groups them and
+documents each hop of the paper's four-message producer-consumer exchange
+(§3.2):
+
+1. consumer -> home      : GET_RO                ("requests a readable copy")
+2. home -> producer      : RECALL_RO / RECALL_INV ("invalidates the producer's copy")
+3. producer -> home      : WB_DATA               ("returns its copy")
+4. home -> consumer      : DATA_RO               ("sends the consumer a readable copy")
+"""
+
+from __future__ import annotations
+
+
+class MessageKind:
+    # requests (cache -> home)
+    GET_RO = "GET_RO"  # read fault: want a read-only copy
+    GET_RW = "GET_RW"  # write fault: want a writable copy
+
+    # home -> current holder(s)
+    INV = "INV"  # invalidate a read-only copy
+    RECALL_RO = "RECALL_RO"  # invalidate a writable copy, return the data (read req)
+    RECALL_INV = "RECALL_INV"  # invalidate a writable copy, return the data (write req)
+
+    # holder -> home
+    ACK = "ACK"  # invalidation acknowledged
+    WB_DATA = "WB_DATA"  # returned (written-back) block data
+
+    # home -> requester
+    DATA_RO = "DATA_RO"  # readable copy
+    DATA_RW = "DATA_RW"  # writable copy
+
+    # predictive protocol pre-send (home -> predicted consumers/producer)
+    PRESEND_RO = "PRESEND_RO"  # bulk: read-only copies of coalesced blocks
+    PRESEND_RW = "PRESEND_RW"  # bulk: a writable copy
+    PRESEND_INV = "PRESEND_INV"  # invalidation issued during pre-send
+
+    # write-update protocol
+    UPDATE = "UPDATE"  # bulk: new values pushed to registered consumers
+
+    REQUESTS = frozenset({GET_RO, GET_RW})
+    HOME_TO_HOLDER = frozenset({INV, RECALL_RO, RECALL_INV, PRESEND_INV})
+    HOLDER_TO_HOME = frozenset({ACK, WB_DATA})
+    DATA = frozenset({DATA_RO, DATA_RW, PRESEND_RO, PRESEND_RW, UPDATE})

@@ -1,0 +1,95 @@
+"""A Teapot-style protocol-specification framework.
+
+The paper's predictive protocol "was developed using Teapot, a domain-specific
+language that reduces the complexity of specifying and developing
+cache-coherence protocols" (§3).  This module gives our protocols the same
+structure: a protocol is a set of ``(state, event) -> handler`` transitions
+declared with the :func:`transition` decorator; dispatching an event for
+which the current state declares no transition raises
+:class:`~repro.util.errors.ProtocolError` — the framework, not each protocol,
+polices the state machine.
+
+Example::
+
+    class HomeSide(ProtocolStateMachine):
+        @transition("IDLE", "GET_RO")
+        def idle_get_ro(self, entry, msg, t): ...
+
+        @transition(("SHARED", "IDLE"), "GET_RW")
+        def give_exclusive(self, entry, msg, t): ...
+
+Transitions may be declared for several states at once by passing a tuple.
+``entry`` is any object with a ``state`` attribute (typically a directory
+entry); handlers are responsible for assigning ``entry.state`` themselves,
+which keeps multi-step (transient-state) protocols explicit.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Iterable
+
+from repro.util.errors import ProtocolError
+
+#: Attribute attached to decorated methods: list of (state, event) keys.
+_TRANSITION_ATTR = "_teapot_transitions"
+
+
+def transition(states: str | Iterable[str], event: str):
+    """Declare the decorated method as the handler for (state, event)."""
+    if isinstance(states, str):
+        states = (states,)
+    else:
+        states = tuple(states)
+
+    def decorate(fn: Callable) -> Callable:
+        keys = getattr(fn, _TRANSITION_ATTR, [])
+        keys.extend((s, event) for s in states)
+        setattr(fn, _TRANSITION_ATTR, keys)
+        return fn
+
+    return decorate
+
+
+class ProtocolStateMachine:
+    """Base class that collects :func:`transition`-decorated methods.
+
+    Subclasses inherit their parents' transition tables and may override
+    individual (state, event) pairs — exactly how the predictive protocol
+    "augments Stache handlers" in the paper.
+    """
+
+    _table: dict[tuple[str, str], str]
+
+    def __init_subclass__(cls, **kwargs: Any) -> None:
+        super().__init_subclass__(**kwargs)
+        table: dict[tuple[str, str], str] = {}
+        # Walk the MRO from base to derived so derived declarations win.
+        for klass in reversed(cls.__mro__):
+            for name, member in vars(klass).items():
+                for key in getattr(member, _TRANSITION_ATTR, ()):
+                    table[key] = name
+        cls._table = table
+
+    @classmethod
+    def transitions(cls) -> dict[tuple[str, str], str]:
+        """The (state, event) -> method-name table (for tests and docs)."""
+        return dict(cls._table)
+
+    def dispatch(self, entry: Any, event: str, *args: Any, **kwargs: Any) -> Any:
+        """Invoke the handler for (entry.state, event).
+
+        Raises :class:`ProtocolError` if the protocol defines no transition —
+        in a correct protocol this indicates a designed-out race actually
+        occurred.
+        """
+        key = (entry.state, event)
+        name = self._table.get(key)
+        if name is None:
+            raise ProtocolError(
+                f"{type(self).__name__}: no transition for event {event!r} "
+                f"in state {entry.state!r} (entry={entry!r})"
+            )
+        return getattr(self, name)(entry, *args, **kwargs)
+
+    def has_transition(self, state: str, event: str) -> bool:
+        return (state, event) in self._table

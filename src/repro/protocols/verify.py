@@ -1,0 +1,88 @@
+"""Static protocol audit: transition-table completeness checking.
+
+Teapot's purpose was making coherence protocols tractable to *verify*; this
+module provides the static half of that for our teapot-style protocols:
+given a specification of which message kinds can legally arrive in which
+directory states, it audits a protocol class's transition table for
+
+* **holes** — a legal (state, event) pair with no declared handler (the
+  dispatcher would raise :class:`ProtocolError` at runtime), and
+* **dead transitions** — declared handlers for pairs the specification says
+  cannot occur (usually a refactoring leftover).
+
+The Stache/predictive home-side specification is provided as
+:data:`STACHE_HOME_SPEC`; tests assert the shipped protocols are
+hole-free against it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.protocols.directory import DirState
+from repro.protocols.messages import MessageKind as MK
+from repro.protocols.teapot import ProtocolStateMachine
+
+#: Which message kinds may arrive at the home node in each directory state,
+#: for a Stache-like write-invalidate protocol.
+STACHE_HOME_SPEC: dict[str, set[str]] = {
+    DirState.IDLE: {MK.GET_RO, MK.GET_RW},
+    DirState.SHARED: {MK.GET_RO, MK.GET_RW},
+    DirState.EXCLUSIVE: {MK.GET_RO, MK.GET_RW},
+    # while busy, new requests queue and the awaited response arrives
+    DirState.BUSY_RECALL_RO: {MK.GET_RO, MK.GET_RW, MK.WB_DATA},
+    DirState.BUSY_RECALL_RW: {MK.GET_RO, MK.GET_RW, MK.WB_DATA},
+    DirState.BUSY_INV: {MK.GET_RO, MK.GET_RW, MK.ACK},
+}
+
+
+@dataclass
+class AuditResult:
+    protocol: str
+    holes: list[tuple[str, str]] = field(default_factory=list)
+    dead: list[tuple[str, str]] = field(default_factory=list)
+    covered: list[tuple[str, str]] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        return not self.holes
+
+    def report(self) -> str:
+        lines = [f"protocol audit: {self.protocol}"]
+        lines.append(f"  covered transitions: {len(self.covered)}")
+        if self.holes:
+            lines.append("  HOLES (legal events with no handler):")
+            for state, event in self.holes:
+                lines.append(f"    ({state}, {event})")
+        else:
+            lines.append("  no holes: every legal (state, event) has a handler")
+        if self.dead:
+            lines.append("  dead transitions (handler for impossible event):")
+            for state, event in self.dead:
+                lines.append(f"    ({state}, {event})")
+        return "\n".join(lines)
+
+
+def audit_protocol(
+    protocol_cls: type[ProtocolStateMachine],
+    spec: dict[str, set[str]],
+    extra_states: dict[str, set[str]] | None = None,
+) -> AuditResult:
+    """Audit ``protocol_cls``'s transition table against ``spec``."""
+    table = protocol_cls.transitions()
+    full_spec = dict(spec)
+    if extra_states:
+        for state, events in extra_states.items():
+            full_spec.setdefault(state, set()).update(events)
+
+    result = AuditResult(protocol=protocol_cls.__name__)
+    for state, events in full_spec.items():
+        for event in sorted(events):
+            if (state, event) in table:
+                result.covered.append((state, event))
+            else:
+                result.holes.append((state, event))
+    for (state, event) in table:
+        if state in full_spec and event not in full_spec[state]:
+            result.dead.append((state, event))
+    return result

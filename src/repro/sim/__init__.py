@@ -1,0 +1,18 @@
+"""Discrete-event simulation core.
+
+:class:`~repro.sim.engine.Engine` is a classic event-queue simulator; all
+timing behaviour of the DSM machine (network flights, handler occupancy,
+barrier waits) is expressed as events scheduled on one engine instance.
+"""
+
+from repro.sim.engine import Engine, Event
+from repro.sim.stats import TimeCategory, NodeStats, PhaseBreakdown, RunStats
+
+__all__ = [
+    "Engine",
+    "Event",
+    "TimeCategory",
+    "NodeStats",
+    "PhaseBreakdown",
+    "RunStats",
+]

@@ -1,0 +1,121 @@
+"""The discrete-event engine.
+
+A minimal, deterministic event-queue simulator: events are ``(time, seq,
+callback)`` triples ordered by time with FIFO tie-breaking via the sequence
+number, so runs are exactly reproducible.  Callbacks may schedule further
+events; :meth:`Engine.run` drains the queue.
+"""
+
+from __future__ import annotations
+
+import heapq
+from dataclasses import dataclass, field
+from typing import Callable
+
+from repro.util.errors import SimulationError
+
+
+@dataclass(order=True)
+class Event:
+    """A scheduled callback.  Ordering is (time, seq); the callback itself
+    never participates in comparisons."""
+
+    time: float
+    seq: int
+    fn: Callable[[], None] = field(compare=False)
+    cancelled: bool = field(default=False, compare=False)
+
+    def cancel(self) -> None:
+        self.cancelled = True
+
+
+class Engine:
+    """A deterministic discrete-event simulator.
+
+    Usage::
+
+        eng = Engine()
+        eng.schedule(10.0, lambda: ...)
+        eng.run()
+
+    ``eng.now`` is the timestamp of the event currently being dispatched
+    (0.0 before the first event).  Scheduling into the past raises
+    :class:`SimulationError` — that always indicates a modelling bug.
+    """
+
+    def __init__(self) -> None:
+        self.now: float = 0.0
+        self._queue: list[Event] = []
+        self._seq: int = 0
+        self._dispatched: int = 0
+        self._running = False
+
+    # -- scheduling ----------------------------------------------------------
+
+    def schedule(self, time: float, fn: Callable[[], None]) -> Event:
+        """Schedule ``fn`` to run at absolute ``time``."""
+        if time < self.now:
+            raise SimulationError(
+                f"cannot schedule event at t={time} before now={self.now}"
+            )
+        ev = Event(time, self._seq, fn)
+        self._seq += 1
+        heapq.heappush(self._queue, ev)
+        return ev
+
+    def schedule_after(self, delay: float, fn: Callable[[], None]) -> Event:
+        """Schedule ``fn`` to run ``delay`` cycles from now."""
+        if delay < 0:
+            raise SimulationError(f"negative delay {delay}")
+        return self.schedule(self.now + delay, fn)
+
+    # -- execution -----------------------------------------------------------
+
+    def run(self, until: float | None = None, max_events: int | None = None) -> int:
+        """Dispatch events in order until the queue empties.
+
+        ``until`` stops the run once the next event is strictly later than
+        that time (the event stays queued).  ``max_events`` guards against
+        runaway models.  Returns the number of events dispatched by this call.
+        """
+        if self._running:
+            raise SimulationError("Engine.run is not reentrant")
+        self._running = True
+        dispatched = 0
+        try:
+            while self._queue:
+                ev = self._queue[0]
+                if ev.cancelled:
+                    heapq.heappop(self._queue)
+                    continue
+                if until is not None and ev.time > until:
+                    break
+                heapq.heappop(self._queue)
+                self.now = ev.time
+                ev.fn()
+                dispatched += 1
+                self._dispatched += 1
+                if max_events is not None and dispatched >= max_events:
+                    raise SimulationError(
+                        f"exceeded max_events={max_events}; likely a livelocked model"
+                    )
+            if until is not None and self.now < until and not self._queue:
+                self.now = until
+        finally:
+            self._running = False
+        return dispatched
+
+    @property
+    def pending(self) -> int:
+        """Number of not-yet-dispatched (and not cancelled) events."""
+        return sum(1 for ev in self._queue if not ev.cancelled)
+
+    @property
+    def total_dispatched(self) -> int:
+        return self._dispatched
+
+    def peek_time(self) -> float | None:
+        """Timestamp of the next live event, or None if the queue is empty."""
+        while self._queue and self._queue[0].cancelled:
+            heapq.heappop(self._queue)
+        return self._queue[0].time if self._queue else None

@@ -1,0 +1,157 @@
+"""Execution-time accounting.
+
+The paper's figures decompose each run into three stacked segments:
+
+* **Remote data wait** — cycles a processor stalls on non-local shared data,
+* **Predictive protocol** — cycles spent in the pre-send phase,
+* **Compute + Synch** — computation plus barrier-synchronization time.
+
+We track four raw categories (compute and synch separately, which the paper
+itself discusses when explaining Adaptive's synchronization win) and fold
+them for figure output.  Because every phase ends at a global barrier, each
+node's per-category cycles sum to the same wall-clock time; the figure bars
+are the across-node means, which therefore also sum to wall time.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Iterable, Mapping
+
+
+class TimeCategory(enum.Enum):
+    COMPUTE = "compute"
+    REMOTE_WAIT = "remote_wait"
+    PREDICTIVE = "predictive"
+    SYNCH = "synch"
+
+
+@dataclass
+class NodeStats:
+    """Per-node accumulated cycles and protocol event counters."""
+
+    node: int
+    cycles: dict[TimeCategory, float] = field(
+        default_factory=lambda: {c: 0.0 for c in TimeCategory}
+    )
+    # protocol counters
+    read_misses: int = 0
+    write_misses: int = 0
+    local_hits: int = 0
+    presend_blocks_sent: int = 0
+    presend_blocks_received: int = 0
+    presend_useless_blocks: int = 0  # pre-sent but invalidated before any use
+    messages_sent: int = 0
+    bytes_sent: int = 0
+
+    def add(self, category: TimeCategory, cycles: float) -> None:
+        if cycles < 0:
+            raise ValueError(f"negative time {cycles} for {category}")
+        self.cycles[category] += cycles
+
+    @property
+    def total(self) -> float:
+        return sum(self.cycles.values())
+
+
+@dataclass
+class PhaseBreakdown:
+    """Aggregate timing for one parallel phase execution (all nodes)."""
+
+    phase_name: str
+    directive_id: int | None
+    wall_start: float
+    wall_end: float
+    #: protocol activity during this phase (deltas of the run counters)
+    misses: int = 0
+    hits: int = 0
+    messages: int = 0
+
+    @property
+    def wall(self) -> float:
+        return self.wall_end - self.wall_start
+
+    @property
+    def hit_rate(self) -> float:
+        total = self.hits + self.misses
+        return self.hits / total if total else 1.0
+
+
+class RunStats:
+    """Statistics for one full program run on the simulated machine."""
+
+    def __init__(self, n_nodes: int):
+        self.nodes = [NodeStats(i) for i in range(n_nodes)]
+        self.phases: list[PhaseBreakdown] = []
+        self.wall_time: float = 0.0
+        self.total_remote_requests: int = 0
+
+    # -- summaries ------------------------------------------------------------
+
+    def mean(self, category: TimeCategory) -> float:
+        return sum(n.cycles[category] for n in self.nodes) / len(self.nodes)
+
+    def totals(self) -> dict[TimeCategory, float]:
+        return {c: self.mean(c) for c in TimeCategory}
+
+    def figure_breakdown(self) -> dict[str, float]:
+        """The three stacked segments of the paper's figures (mean cycles)."""
+        t = self.totals()
+        return {
+            "Remote data wait": t[TimeCategory.REMOTE_WAIT],
+            "Predictive protocol": t[TimeCategory.PREDICTIVE],
+            "Compute+Synch": t[TimeCategory.COMPUTE] + t[TimeCategory.SYNCH],
+        }
+
+    @property
+    def local_hits(self) -> int:
+        return sum(n.local_hits for n in self.nodes)
+
+    @property
+    def misses(self) -> int:
+        return sum(n.read_misses + n.write_misses for n in self.nodes)
+
+    @property
+    def hit_rate(self) -> float:
+        accesses = self.local_hits + self.misses
+        return self.local_hits / accesses if accesses else 1.0
+
+    @property
+    def messages(self) -> int:
+        return sum(n.messages_sent for n in self.nodes)
+
+    @property
+    def bytes_on_wire(self) -> int:
+        return sum(n.bytes_sent for n in self.nodes)
+
+    def check_conservation(self, tol: float = 1e-6) -> None:
+        """Assert each node's category cycles sum to wall time.
+
+        Holds exactly because every run ends at a global barrier; tests use
+        this as an invariant.
+        """
+        for n in self.nodes:
+            if abs(n.total - self.wall_time) > tol * max(1.0, self.wall_time):
+                raise AssertionError(
+                    f"node {n.node}: categories sum to {n.total}, wall={self.wall_time}"
+                )
+
+    def phase_rows(self) -> list[list[object]]:
+        """Per-phase activity (name, wall, misses, hit rate) for reports."""
+        return [
+            [p.phase_name, p.wall, float(p.misses), p.hit_rate]
+            for p in self.phases
+        ]
+
+    def summary_rows(self) -> list[list[object]]:
+        b = self.figure_breakdown()
+        return [
+            ["wall time (cycles)", self.wall_time],
+            ["remote data wait (mean)", b["Remote data wait"]],
+            ["predictive protocol (mean)", b["Predictive protocol"]],
+            ["compute+synch (mean)", b["Compute+Synch"]],
+            ["local hit rate", self.hit_rate],
+            ["remote misses", float(self.misses)],
+            ["protocol messages", float(self.messages)],
+        ]

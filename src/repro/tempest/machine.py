@@ -1,0 +1,354 @@
+"""The simulated DSM machine and the trace-replay execution model.
+
+Applications execute in two passes (DESIGN.md §5.1): a *value pass* computes
+real numerics and records, per processor, an ordered trace of block-level
+shared accesses and compute charges; this module replays those traces through
+a coherence protocol on a discrete-event simulation of the machine.
+
+A phase trace is replayed as follows.  All processors start simultaneously
+(phases are barrier-separated).  Each processor consumes its ops: compute
+charges advance its local clock; accesses its tag table permits cost
+``cache_hit_cost``; anything else faults into the protocol, which exchanges
+messages (with network latency and per-node handler occupancy) and resumes
+the processor when the access is granted.  A processor that finishes its ops
+arrives at the phase barrier; the barrier releases ``barrier_latency`` after
+the last arrival, and each node's wait is accounted as synchronization time.
+
+Processors may run *ahead* of the event clock while executing only local
+work, but never past the next scheduled event (which could invalidate a tag
+they are about to consult) — the classic conservative-time-window rule.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Protocol as TypingProtocol, Sequence
+
+from repro.sim.engine import Engine
+from repro.sim.stats import PhaseBreakdown, RunStats, TimeCategory
+from repro.tempest.addrspace import AddressSpace
+from repro.tempest.network import Message, Network
+from repro.tempest.node import Node
+from repro.util.config import MachineConfig
+from repro.util.errors import SimulationError
+
+#: Trace operations: ("r", block), ("w", block), ("c", cycles)
+TraceOp = tuple
+
+
+@dataclass
+class PhaseTrace:
+    """The recorded shared-access trace of one parallel phase.
+
+    ``ops[p]`` is processor *p*'s ordered list of operations.
+    """
+
+    name: str
+    ops: list[list[TraceOp]]
+
+    def op_count(self) -> int:
+        return sum(len(o) for o in self.ops)
+
+
+class CoherenceProtocolAPI(TypingProtocol):
+    """What the machine requires of a protocol (see repro.protocols.base)."""
+
+    name: str
+
+    def fault(self, proc: "ReplayProcessor", block: int, kind: str, t: float) -> None: ...
+
+    def on_message(self, msg: Message, t: float) -> None: ...
+
+    def begin_group(self, directive_id: int, t: float) -> list[float] | None:
+        """Start a compiler-directed phase group at time ``t``.
+
+        May schedule pre-send traffic on the engine; returns per-node
+        *send-side* completion times, or None if this protocol has no
+        pre-send phase.
+        """
+        ...
+
+    def end_group(self, directive_id: int, t: float) -> None: ...
+
+    def adjust_barrier(self, arrivals: dict[int, float]) -> dict[int, float]:
+        """Hook run at each phase barrier; may delay arrivals (e.g. a
+        write-update protocol pushing this phase's writes to consumers)."""
+        ...
+
+
+class ReplayProcessor:
+    """Replays one node's per-phase op list against the protocol."""
+
+    __slots__ = (
+        "machine",
+        "node",
+        "ops",
+        "index",
+        "t",
+        "waiting",
+        "miss_start",
+        "pending_op",
+        "done",
+    )
+
+    def __init__(self, machine: "Machine", node: Node, ops: list[TraceOp], start: float):
+        self.machine = machine
+        self.node = node
+        self.ops = ops
+        self.index = 0
+        self.t = start
+        self.waiting = False
+        self.miss_start = 0.0
+        self.pending_op: TraceOp | None = None
+        self.done = False
+
+    # -- execution -------------------------------------------------------------
+
+    def start(self) -> None:
+        self.machine.engine.schedule(self.t, self._run)
+
+    def _run(self) -> None:
+        """Process ops inline up to the conservative horizon, then yield."""
+        if self.done:
+            raise SimulationError(f"processor {self.node.id} ran after completion")
+        eng = self.machine.engine
+        cfg = self.machine.config
+        tags = self.node.tags
+        stats = self.node.stats
+        horizon = eng.peek_time()
+        if horizon is None:
+            horizon = math.inf
+        ops = self.ops
+        n = len(ops)
+        progressed = False  # always make progress on >=1 op per dispatch,
+        # otherwise same-timestamp processors livelock re-yielding to each
+        # other; a tie with a pending event is semantically unordered anyway
+        while self.index < n:
+            if progressed and self.t >= horizon:
+                eng.schedule(self.t, self._run)
+                return
+            progressed = True
+            op = ops[self.index]
+            kind = op[0]
+            if kind == "c":
+                cycles = op[1]
+                self.t += cycles
+                stats.add(TimeCategory.COMPUTE, cycles)
+                self.index += 1
+            elif kind == "r" or kind == "w":
+                block = op[1]
+                if tags.permits(block, kind):
+                    self.t += cfg.cache_hit_cost
+                    stats.add(TimeCategory.COMPUTE, cfg.cache_hit_cost)
+                    stats.local_hits += 1
+                    self.index += 1
+                    self.machine.note_access(self.node.id, block, kind)
+                else:
+                    self.waiting = True
+                    self.miss_start = self.t
+                    self.pending_op = op
+                    if kind == "r":
+                        stats.read_misses += 1
+                    else:
+                        stats.write_misses += 1
+                    self.machine.protocol.fault(self, block, kind, self.t)
+                    return
+            else:
+                raise SimulationError(f"unknown trace op {op!r}")
+        self.done = True
+        self.machine._arrive_barrier(self, self.t)
+
+    def resume(self, t: float) -> None:
+        """Called by the protocol when the faulting access has been granted.
+
+        The stall (fault detection, request/response messages, handler
+        queueing, invalidation rounds) is charged as remote-data-wait time.
+        """
+        if not self.waiting:
+            raise SimulationError(f"resume of non-waiting processor {self.node.id}")
+        if t < self.miss_start:
+            raise SimulationError("protocol resumed processor in its past")
+        op = self.pending_op
+        assert op is not None
+        if not self.node.tags.permits(op[1], op[0]):
+            raise SimulationError(
+                f"protocol resumed node {self.node.id} without granting "
+                f"{op[0]!r} on block {op[1]}"
+            )
+        self.node.stats.add(TimeCategory.REMOTE_WAIT, t - self.miss_start)
+        self.machine.note_access(self.node.id, op[1], op[0])
+        self.waiting = False
+        self.pending_op = None
+        # The access completes now: consume the op (it is not a second,
+        # separately-counted hit) and continue.
+        self.t = t + self.machine.config.cache_hit_cost
+        self.node.stats.add(TimeCategory.COMPUTE, self.machine.config.cache_hit_cost)
+        self.index += 1
+        self.machine.engine.schedule(self.t, self._run)
+
+
+class Machine:
+    """A simulated N-node DSM machine running one coherence protocol.
+
+    The protocol is supplied as a factory ``protocol_factory(machine)`` so
+    protocols can hold a back-reference without an import cycle.
+    """
+
+    def __init__(self, config: MachineConfig, protocol_factory) -> None:
+        self.config = config
+        self.engine = Engine()
+        self.addr_space = AddressSpace(config)
+        self.network = Network(self.engine, config)
+        self.stats = RunStats(config.n_nodes)
+        self.nodes = [Node(i, stats=self.stats.nodes[i]) for i in range(config.n_nodes)]
+        self.clock: float = 0.0  # barrier-release time of the last phase
+        self.current_directive: int | None = None
+        #: (node, block) pairs touched since the current group began
+        self.group_accessed: set[tuple[int, int]] = set()
+        #: (node, block) written during the current phase (for write-update)
+        self.phase_writes: set[tuple[int, int]] = set()
+        self._barrier_arrivals: dict[int, float] = {}
+        self._phase_running = False
+        #: optional event sink: when set, every begin_group/run_phase/
+        #: end_group appends ("begin_group", id) / ("phase", trace) /
+        #: ("end_group",) — a complete session recording that
+        #: repro.tempest.tracefile can save and replay on other machines
+        self.recorder: list | None = None
+        self.protocol: CoherenceProtocolAPI = protocol_factory(self)
+        self.network.attach(self._deliver)
+
+    # -- plumbing ---------------------------------------------------------------
+
+    def home(self, block: int) -> int:
+        return self.addr_space.home_of_block(block)
+
+    def node(self, i: int) -> Node:
+        return self.nodes[i]
+
+    def _deliver(self, msg: Message, t: float) -> None:
+        self.nodes[msg.src].stats.messages_sent += 1
+        self.nodes[msg.src].stats.bytes_sent += msg.payload_bytes
+        self.protocol.on_message(msg, t)
+
+    def send(self, msg: Message, at: float) -> float:
+        return self.network.send(msg, at)
+
+    def note_access(self, node: int, block: int, kind: str) -> None:
+        """Record that ``node`` touched ``block`` (pre-send usefulness and
+        write-update bookkeeping)."""
+        self.group_accessed.add((node, block))
+        if kind == "w":
+            self.phase_writes.add((node, block))
+
+    def was_accessed(self, node: int, block: int) -> bool:
+        return (node, block) in self.group_accessed
+
+    # -- phase groups (compiler directives) ---------------------------------------
+
+    def begin_group(self, directive_id: int) -> None:
+        """Enter a compiler-directed phase group: pre-send per the schedule.
+
+        For protocols without a pre-send phase this only sets the recording
+        context.  The pre-send work plus its closing barrier are charged to
+        the PREDICTIVE category.
+        """
+        if self._phase_running:
+            raise SimulationError("begin_group during a running phase")
+        if self.recorder is not None:
+            self.recorder.append(("begin_group", directive_id))
+        self.current_directive = directive_id
+        self.group_accessed.clear()
+        start = self.clock
+        send_done = self.protocol.begin_group(directive_id, start)
+        self.engine.run()
+        if send_done is not None:
+            # A node is done with pre-send when it has finished walking its
+            # own schedule AND installed everything pre-sent to it.
+            completions = [
+                max(send_done[i], self.nodes[i].handler_busy_until, start)
+                for i in range(self.config.n_nodes)
+            ]
+            release = max(completions) + self.config.barrier_latency
+            release = max(release, self.engine.now)
+            for node in self.nodes:
+                # The whole node is occupied by the pre-send phase from its
+                # start until the closing barrier releases.
+                node.stats.add(TimeCategory.PREDICTIVE, release - start)
+            self.clock = release
+
+    def end_group(self) -> None:
+        if self.recorder is not None and self.current_directive is not None:
+            self.recorder.append(("end_group",))
+        if self.current_directive is not None:
+            self.protocol.end_group(self.current_directive, self.clock)
+        self.current_directive = None
+
+    # -- phase execution -----------------------------------------------------------
+
+    def run_phase(self, trace: PhaseTrace) -> PhaseBreakdown:
+        """Replay one barrier-terminated parallel phase."""
+        if len(trace.ops) != self.config.n_nodes:
+            raise SimulationError(
+                f"trace has {len(trace.ops)} processor streams, machine has "
+                f"{self.config.n_nodes} nodes"
+            )
+        if self._phase_running:
+            raise SimulationError("run_phase is not reentrant")
+        if self.recorder is not None:
+            self.recorder.append(("phase", trace))
+        self._phase_running = True
+        start = self.clock
+        self.phase_writes.clear()
+        self._barrier_arrivals = {}
+        misses_before = self.stats.misses
+        hits_before = self.stats.local_hits
+        msgs_before = self.stats.messages
+        procs = [
+            ReplayProcessor(self, self.nodes[i], trace.ops[i], start)
+            for i in range(self.config.n_nodes)
+        ]
+        self._procs = procs
+        for p in procs:
+            p.start()
+        self.engine.run()
+        if len(self._barrier_arrivals) != self.config.n_nodes:
+            missing = [p.node.id for p in procs if not p.done]
+            raise SimulationError(
+                f"phase {trace.name!r}: deadlock — processors {missing} never "
+                f"reached the barrier (protocol dropped a resume?)"
+            )
+        arrivals = self.protocol.adjust_barrier(dict(self._barrier_arrivals))
+        release = max(arrivals.values()) + self.config.barrier_latency
+        # Protocol traffic may outlast the barrier (e.g. unsolicited pushes
+        # still in flight); the next phase cannot start before the engine
+        # has caught up with it.
+        release = max(release, self.engine.now)
+        for node_id, arrived in arrivals.items():
+            self.nodes[node_id].stats.add(TimeCategory.SYNCH, release - arrived)
+        self.clock = release
+        self._phase_running = False
+        breakdown = PhaseBreakdown(
+            trace.name,
+            self.current_directive,
+            start,
+            release,
+            misses=self.stats.misses - misses_before,
+            hits=self.stats.local_hits - hits_before,
+            messages=self.stats.messages - msgs_before,
+        )
+        self.stats.phases.append(breakdown)
+        return breakdown
+
+    def _arrive_barrier(self, proc: ReplayProcessor, t: float) -> None:
+        if proc.node.id in self._barrier_arrivals:
+            raise SimulationError(f"node {proc.node.id} arrived at barrier twice")
+        self._barrier_arrivals[proc.node.id] = t
+
+    # -- finishing --------------------------------------------------------------------
+
+    def finish(self) -> RunStats:
+        """Close out the run and return its statistics."""
+        self.stats.wall_time = self.clock
+        self.stats.check_conservation()
+        return self.stats

@@ -1,0 +1,87 @@
+"""The interconnection network model.
+
+A message costs ``msg_latency + per_byte_cost * payload`` cycles of flight
+time; coalesced bulk transfers add ``bulk_msg_overhead`` once but amortize it
+over many blocks (paper §3.4: "the predictive protocol coalesces neighboring
+blocks and transfers them using bulk messages to amortize message startup
+costs").  Delivery invokes the destination node's protocol dispatcher through
+the discrete-event engine; per-node handler occupancy is modelled by
+:class:`repro.tempest.node.Node`.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Any, Callable
+
+from repro.sim.engine import Engine
+from repro.util.config import MachineConfig
+from repro.util.errors import SimulationError
+
+_msg_ids = itertools.count()
+
+
+@dataclass
+class Message:
+    """One protocol message in flight."""
+
+    kind: str
+    src: int
+    dst: int
+    block: int | None = None
+    payload_bytes: int = 0
+    #: free-form protocol fields (requester id, block lists, phase ids ...)
+    info: dict[str, Any] = field(default_factory=dict)
+    bulk: bool = False
+    msg_id: int = field(default_factory=lambda: next(_msg_ids))
+    send_time: float = 0.0
+
+    def __repr__(self) -> str:  # compact for trace dumps
+        blk = f" blk={self.block}" if self.block is not None else ""
+        return f"<{self.kind} {self.src}->{self.dst}{blk} {self.payload_bytes}B>"
+
+
+class Network:
+    """Delivers messages with configurable latency and bandwidth costs."""
+
+    def __init__(self, engine: Engine, config: MachineConfig):
+        self.engine = engine
+        self.config = config
+        self._deliver: Callable[[Message, float], None] | None = None
+        self.messages_delivered = 0
+        self.bytes_delivered = 0
+
+    def attach(self, deliver: Callable[[Message, float], None]) -> None:
+        """Set the machine-level dispatcher invoked on each delivery."""
+        self._deliver = deliver
+
+    def flight_time(self, msg: Message) -> float:
+        base = self.config.msg_latency + self.config.per_byte_cost * msg.payload_bytes
+        if msg.bulk:
+            base += self.config.bulk_msg_overhead
+        return base
+
+    def send(self, msg: Message, at: float) -> float:
+        """Inject ``msg`` at absolute time ``at``; returns arrival time.
+
+        ``at`` may be in the engine's future (replay processors run ahead of
+        the event clock between interactions), but never in its past.
+        """
+        if self._deliver is None:
+            raise SimulationError("network not attached to a machine")
+        if msg.src == msg.dst:
+            raise SimulationError(f"self-send of {msg}")
+        n = self.config.n_nodes
+        if not (0 <= msg.src < n and 0 <= msg.dst < n):
+            raise SimulationError(f"bad endpoints in {msg}")
+        msg.send_time = at
+        arrival = at + self.flight_time(msg)
+        self.messages_delivered += 1
+        self.bytes_delivered += msg.payload_bytes
+
+        def _arrive() -> None:
+            self._deliver(msg, arrival)
+
+        self.engine.schedule(arrival, _arrive)
+        return arrival

@@ -1,0 +1,41 @@
+"""A processing node: tags, statistics, and protocol-handler occupancy.
+
+Blizzard runs protocol handlers in software; each message a node receives
+occupies it for ``handler_cost`` cycles.  We model the handler as a dedicated
+serial resource per node (a network-interface / protocol co-processor in the
+style of Typhoon): messages to the same node are serviced FIFO, so a home node
+swamped by requests — e.g. Water's n/2 readers of one molecule — becomes a
+real bottleneck, which is one of the effects pre-sending removes.
+"""
+
+from __future__ import annotations
+
+from repro.sim.stats import NodeStats
+from repro.tempest.tags import TagTable
+
+
+class Node:
+    """State owned by one node of the simulated machine."""
+
+    def __init__(self, node_id: int, stats: NodeStats | None = None):
+        self.id = node_id
+        self.tags = TagTable(node_id)
+        self.stats = stats if stats is not None else NodeStats(node_id)
+        #: time until which the protocol-handler resource is busy
+        self.handler_busy_until: float = 0.0
+
+    def service_handler(self, arrival: float, cost: float) -> float:
+        """Occupy the handler resource for ``cost`` cycles; FIFO service.
+
+        Returns the completion time (when the handler's effects take place).
+        """
+        start = max(arrival, self.handler_busy_until)
+        done = start + cost
+        self.handler_busy_until = done
+        return done
+
+    def reset_timing(self) -> None:
+        self.handler_busy_until = 0.0
+
+    def __repr__(self) -> str:
+        return f"<Node {self.id} tags={len(self.tags)}>"

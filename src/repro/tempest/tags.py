@@ -1,0 +1,70 @@
+"""Fine-grain access-control tags.
+
+Each node tags every cache block it may touch as **Invalid**, **ReadOnly**,
+or **ReadWrite** (paper §3.1).  An access that the tag permits proceeds "at
+full hardware speed"; one it does not permit faults into the protocol.  The
+tag table is the *only* authority the replay processor consults for
+hit/miss decisions, so protocols communicate exclusively by mutating tags.
+"""
+
+from __future__ import annotations
+
+import enum
+
+from repro.util.errors import SimulationError
+
+
+class AccessTag(enum.IntEnum):
+    INVALID = 0
+    READ_ONLY = 1
+    READ_WRITE = 2
+
+    def permits(self, kind: str) -> bool:
+        if kind == "r":
+            return self is not AccessTag.INVALID
+        if kind == "w":
+            return self is AccessTag.READ_WRITE
+        raise SimulationError(f"unknown access kind {kind!r}")
+
+
+class TagTable:
+    """Per-node block -> tag map.  Missing entries are INVALID.
+
+    ``home_default`` lists blocks this node is home for; they start
+    READ_WRITE (the home initially holds its data exclusively).
+    """
+
+    __slots__ = ("node", "_tags")
+
+    def __init__(self, node: int):
+        self.node = node
+        self._tags: dict[int, AccessTag] = {}
+
+    def get(self, block: int) -> AccessTag:
+        return self._tags.get(block, AccessTag.INVALID)
+
+    def set(self, block: int, tag: AccessTag) -> None:
+        if tag is AccessTag.INVALID:
+            self._tags.pop(block, None)
+        else:
+            self._tags[block] = tag
+
+    def permits(self, block: int, kind: str) -> bool:
+        return self.get(block).permits(kind)
+
+    def downgrade(self, block: int) -> None:
+        """READ_WRITE -> READ_ONLY (keep data, lose write permission)."""
+        if self.get(block) is AccessTag.READ_WRITE:
+            self._tags[block] = AccessTag.READ_ONLY
+
+    def invalidate(self, block: int) -> None:
+        self._tags.pop(block, None)
+
+    def blocks_with_tag(self, tag: AccessTag) -> list[int]:
+        return [b for b, t in self._tags.items() if t is tag]
+
+    def __len__(self) -> int:
+        return len(self._tags)
+
+    def clear(self) -> None:
+        self._tags.clear()

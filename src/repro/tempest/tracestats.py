@@ -1,0 +1,91 @@
+"""Statistics over recorded phase traces.
+
+Useful for understanding an application's communication pattern before ever
+touching a protocol: which blocks are shared, by how many nodes, how much of
+a phase is compute versus access ops.  The CLI's ``run --trace-stats`` and
+several tests use it.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass, field
+
+from repro.tempest.machine import PhaseTrace
+from repro.util.tables import format_table
+
+
+@dataclass
+class TraceStats:
+    """Aggregate statistics of one (or a merged sequence of) phase traces."""
+
+    phases: int = 0
+    reads: int = 0
+    writes: int = 0
+    compute_cycles: float = 0.0
+    #: block -> set of nodes that touched it
+    block_nodes: dict[int, set[int]] = field(default_factory=dict)
+    #: block -> set of nodes that wrote it
+    block_writers: dict[int, set[int]] = field(default_factory=dict)
+
+    @classmethod
+    def of(cls, traces: PhaseTrace | list[PhaseTrace]) -> "TraceStats":
+        if isinstance(traces, PhaseTrace):
+            traces = [traces]
+        stats = cls()
+        for trace in traces:
+            stats.phases += 1
+            for node, ops in enumerate(trace.ops):
+                for op in ops:
+                    if op[0] == "c":
+                        stats.compute_cycles += op[1]
+                        continue
+                    block = op[1]
+                    stats.block_nodes.setdefault(block, set()).add(node)
+                    if op[0] == "r":
+                        stats.reads += 1
+                    else:
+                        stats.writes += 1
+                        stats.block_writers.setdefault(block, set()).add(node)
+        return stats
+
+    # -- derived ---------------------------------------------------------------
+
+    @property
+    def accesses(self) -> int:
+        return self.reads + self.writes
+
+    @property
+    def unique_blocks(self) -> int:
+        return len(self.block_nodes)
+
+    def shared_blocks(self) -> list[int]:
+        """Blocks touched by more than one node."""
+        return sorted(b for b, nodes in self.block_nodes.items() if len(nodes) > 1)
+
+    def multi_writer_blocks(self) -> list[int]:
+        """Blocks written by more than one node (false-sharing suspects)."""
+        return sorted(b for b, ws in self.block_writers.items() if len(ws) > 1)
+
+    def sharing_histogram(self) -> dict[int, int]:
+        """sharers-count -> number of blocks."""
+        hist = Counter(len(nodes) for nodes in self.block_nodes.values())
+        return dict(sorted(hist.items()))
+
+    def report(self) -> str:
+        rows = [
+            ["phases", float(self.phases)],
+            ["accesses (r/w)", f"{self.reads}/{self.writes}"],
+            ["compute cycles", self.compute_cycles],
+            ["unique blocks", float(self.unique_blocks)],
+            ["shared blocks", float(len(self.shared_blocks()))],
+            ["multi-writer blocks", float(len(self.multi_writer_blocks()))],
+        ]
+        out = format_table(["metric", "value"], rows, title="trace statistics",
+                           floatfmt=".6g")
+        hist = self.sharing_histogram()
+        if hist:
+            out += "\nsharing degree histogram (nodes -> blocks): " + ", ".join(
+                f"{k}->{v}" for k, v in hist.items()
+            )
+        return out

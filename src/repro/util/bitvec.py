@@ -1,0 +1,140 @@
+"""A fixed-width bit vector for iterative data-flow analysis.
+
+The C** compiler's *reaching unstructured accesses* analysis (paper §4.3) is
+"an iterative bit-vector based data-flow computation"; this class provides the
+vector.  It is a thin, well-tested wrapper over a Python int so union /
+intersection / difference are single machine operations regardless of width.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator
+
+
+class BitVector:
+    """A mutable fixed-width vector of bits.
+
+    Bits are indexed ``0 .. width-1``.  Operations between vectors require
+    equal widths (data-flow lattices never mix widths).
+    """
+
+    __slots__ = ("width", "_bits")
+
+    def __init__(self, width: int, bits: int = 0):
+        if width < 0:
+            raise ValueError(f"width must be >= 0, got {width}")
+        mask = (1 << width) - 1
+        if bits & ~mask:
+            raise ValueError("initial bits exceed width")
+        self.width = width
+        self._bits = bits
+
+    # -- constructors --------------------------------------------------------
+
+    @classmethod
+    def from_indices(cls, width: int, indices: Iterable[int]) -> "BitVector":
+        v = cls(width)
+        for i in indices:
+            v.set(i)
+        return v
+
+    @classmethod
+    def full(cls, width: int) -> "BitVector":
+        return cls(width, (1 << width) - 1)
+
+    def copy(self) -> "BitVector":
+        return BitVector(self.width, self._bits)
+
+    # -- single-bit operations ------------------------------------------------
+
+    def _check(self, i: int) -> None:
+        if not (0 <= i < self.width):
+            raise IndexError(f"bit {i} out of range for width {self.width}")
+
+    def set(self, i: int) -> None:
+        self._check(i)
+        self._bits |= 1 << i
+
+    def clear(self, i: int) -> None:
+        self._check(i)
+        self._bits &= ~(1 << i)
+
+    def test(self, i: int) -> bool:
+        self._check(i)
+        return bool(self._bits >> i & 1)
+
+    __getitem__ = test
+
+    # -- whole-vector operations ----------------------------------------------
+
+    def _check_width(self, other: "BitVector") -> None:
+        if self.width != other.width:
+            raise ValueError(f"width mismatch: {self.width} vs {other.width}")
+
+    def __or__(self, other: "BitVector") -> "BitVector":
+        self._check_width(other)
+        return BitVector(self.width, self._bits | other._bits)
+
+    def __and__(self, other: "BitVector") -> "BitVector":
+        self._check_width(other)
+        return BitVector(self.width, self._bits & other._bits)
+
+    def __sub__(self, other: "BitVector") -> "BitVector":
+        """Set difference: bits in self and not in other."""
+        self._check_width(other)
+        return BitVector(self.width, self._bits & ~other._bits)
+
+    def __ior__(self, other: "BitVector") -> "BitVector":
+        self._check_width(other)
+        self._bits |= other._bits
+        return self
+
+    def __iand__(self, other: "BitVector") -> "BitVector":
+        self._check_width(other)
+        self._bits &= other._bits
+        return self
+
+    def __isub__(self, other: "BitVector") -> "BitVector":
+        self._check_width(other)
+        self._bits &= ~other._bits
+        return self
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, BitVector):
+            return NotImplemented
+        return self.width == other.width and self._bits == other._bits
+
+    def __hash__(self) -> int:
+        return hash((self.width, self._bits))
+
+    def __bool__(self) -> bool:
+        return self._bits != 0
+
+    def __len__(self) -> int:
+        return self.width
+
+    def __iter__(self) -> Iterator[bool]:
+        bits = self._bits
+        for _ in range(self.width):
+            yield bool(bits & 1)
+            bits >>= 1
+
+    def indices(self) -> Iterator[int]:
+        """Yield the indices of set bits, ascending."""
+        bits = self._bits
+        i = 0
+        while bits:
+            if bits & 1:
+                yield i
+            bits >>= 1
+            i += 1
+
+    def count(self) -> int:
+        return self._bits.bit_count()
+
+    def is_subset(self, other: "BitVector") -> bool:
+        self._check_width(other)
+        return self._bits & ~other._bits == 0
+
+    def __repr__(self) -> str:
+        return f"BitVector({self.width}, 0b{self._bits:0{max(self.width, 1)}b})"

@@ -1,0 +1,33 @@
+"""Block-run coalescing.
+
+Shared by the predictive protocol's pre-send phase and the write-update
+protocol's update push: neighboring cache blocks bound for the same
+destination travel in one bulk message "to amortize message startup costs"
+(paper §3.4).
+"""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+
+def coalesce_blocks(blocks: Iterable[int]) -> list[tuple[int, int]]:
+    """Group block indices into maximal runs of consecutive blocks.
+
+    Returns ``(first_block, count)`` pairs, ascending.  Duplicates are
+    ignored.
+    """
+    runs: list[tuple[int, int]] = []
+    start: int | None = None
+    prev = 0
+    for b in sorted(set(blocks)):
+        if start is None:
+            start, prev = b, b
+        elif b == prev + 1:
+            prev = b
+        else:
+            runs.append((start, prev - start + 1))
+            start, prev = b, b
+    if start is not None:
+        runs.append((start, prev - start + 1))
+    return runs

@@ -1,0 +1,44 @@
+"""Exception hierarchy for the repro package.
+
+Every error raised intentionally by the library derives from
+:class:`ReproError`, so callers can catch one type at an API boundary.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by :mod:`repro`."""
+
+
+class ConfigError(ReproError):
+    """An invalid :class:`repro.util.config.MachineConfig` or run parameter."""
+
+
+class SimulationError(ReproError):
+    """The discrete-event simulation reached an inconsistent state."""
+
+
+class ProtocolError(ReproError):
+    """A coherence protocol observed an illegal state/message combination.
+
+    Raised by the teapot dispatcher when a message arrives for which the
+    current (directory or cache) state defines no transition.  In a correct
+    protocol this never fires; tests assert both that legal traces never
+    raise it and that deliberately-corrupted traces do.
+    """
+
+
+class CompileError(ReproError):
+    """A C** source program failed to lex, parse, or analyze.
+
+    Carries an optional source location so messages can point at the
+    offending token.
+    """
+
+    def __init__(self, message: str, line: int | None = None, col: int | None = None):
+        self.line = line
+        self.col = col
+        if line is not None:
+            message = f"line {line}" + (f", col {col}" if col is not None else "") + f": {message}"
+        super().__init__(message)

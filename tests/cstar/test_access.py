@@ -1,0 +1,188 @@
+"""Tests for semantic checks and access-pattern analysis (paper §4.2)."""
+
+import pytest
+
+from repro.cstar.access import Access, AccessKind, Locality
+from repro.cstar.parser import parse
+from repro.cstar.sema import analyze
+from repro.util import CompileError
+
+
+def summaries(src):
+    info = analyze(parse(src))
+    return {name: fi.summary for name, fi in info.functions.items()}
+
+
+HOME = Locality.HOME
+NONHOME = Locality.NON_HOME
+R = AccessKind.READ
+W = AccessKind.WRITE
+
+
+class TestClassification:
+    def test_own_element_write_is_home(self):
+        s = summaries(
+            "aggregate G(float)[][];"
+            "parallel f(G g parallel) { g[#0][#1] = 1.0; } main(){}"
+        )["f"]
+        assert Access("g", W, HOME) in s
+
+    def test_own_element_read_is_home(self):
+        s = summaries(
+            "aggregate G(float)[];"
+            "parallel f(G g parallel) { g[#0] = g[#0] + 1.0; } main(){}"
+        )["f"]
+        assert Access("g", R, HOME) in s
+        assert Access("g", W, HOME) in s
+
+    def test_neighbor_read_is_non_home(self):
+        """Even a simple +1 stencil is conservatively unstructured."""
+        s = summaries(
+            "aggregate G(float)[];"
+            "parallel f(G g parallel) { g[#0] = g[#0 + 1]; } main(){}"
+        )["f"]
+        assert Access("g", R, NONHOME) in s
+        assert Access("g", W, HOME) in s
+
+    def test_other_aggregate_is_non_home(self):
+        """Figure 3's update: (primal, Write, Home), (dual, Read, Non-Home)."""
+        s = summaries(
+            "aggregate Mesh(float)[];"
+            "parallel update(Mesh primal parallel, Mesh dual) {"
+            "  primal[#0] = dual[#0];"
+            "} main(){}"
+        )["update"]
+        assert list(s) == [
+            Access("dual", R, NONHOME),
+            Access("primal", W, HOME),
+        ]
+
+    def test_indirection_is_non_home(self):
+        s = summaries(
+            "aggregate G(float)[]; aggregate Idx(int)[];"
+            "parallel gather(G g parallel, G src, Idx ind) {"
+            "  g[#0] = src[ind[#0]];"
+            "} main(){}"
+        )["gather"]
+        assert Access("src", R, NONHOME) in s
+        assert Access("ind", R, NONHOME) in s
+
+    def test_unstructured_write(self):
+        s = summaries(
+            "aggregate G(float)[]; aggregate Idx(int)[];"
+            "parallel scatter(Idx ind parallel, G g) { g[ind[#0]] = 1.0; } main(){}"
+        )["scatter"]
+        assert Access("g", W, NONHOME) in s
+
+    def test_swapped_positions_are_non_home(self):
+        s = summaries(
+            "aggregate G(float)[][];"
+            "parallel f(G g parallel) { g[#1][#0] = 1.0; } main(){}"
+        )["f"]
+        assert Access("g", W, NONHOME) in s
+
+    def test_partial_own_indices_non_home(self):
+        s = summaries(
+            "aggregate G(float)[][];"
+            "parallel f(G g parallel) { g[#0][0] = 1.0; } main(){}"
+        )["f"]
+        assert Access("g", W, NONHOME) in s
+
+    def test_home_only_predicate(self):
+        s = summaries(
+            "aggregate G(float)[];"
+            "parallel f(G g parallel) { g[#0] = 2.0; } main(){}"
+        )["f"]
+        assert s.is_home_only()
+
+    def test_summary_queries(self):
+        s = summaries(
+            "aggregate G(float)[];"
+            "parallel f(G g parallel, G o) { g[#0] = o[#0+1]; o[#0] = 1.0; } main(){}"
+        )["f"]
+        assert s.owner_writes() == {"g"}
+        assert s.unstructured_reads() == {"o"}
+        assert s.unstructured_writes() == {"o"}  # o is not the parallel param
+
+
+class TestSemanticErrors:
+    def test_pos_beyond_rank(self):
+        with pytest.raises(CompileError):
+            summaries(
+                "aggregate G(float)[];"
+                "parallel f(G g parallel) { g[#1] = 1.0; } main(){}"
+            )
+
+    def test_wrong_subscript_count(self):
+        with pytest.raises(CompileError):
+            summaries(
+                "aggregate G(float)[][];"
+                "parallel f(G g parallel) { g[#0] = 1.0; } main(){}"
+            )
+
+    def test_undefined_variable(self):
+        with pytest.raises(CompileError):
+            summaries(
+                "aggregate G(float)[];"
+                "parallel f(G g parallel) { g[#0] = nothere; } main(){}"
+            )
+
+    def test_aggregate_without_subscript(self):
+        with pytest.raises(CompileError):
+            summaries(
+                "aggregate G(float)[];"
+                "parallel f(G g parallel, G o) { g[#0] = o; } main(){}"
+            )
+
+    def test_unknown_param_type(self):
+        with pytest.raises(CompileError):
+            summaries("parallel f(Bogus g parallel) { g[#0] = 1.0; } main(){}")
+
+    def test_scalar_parallel_param_rejected(self):
+        with pytest.raises(CompileError):
+            summaries("parallel f(float x parallel) { } main(){}")
+
+
+class TestMainChecks:
+    def test_element_access_in_main_rejected(self):
+        with pytest.raises(CompileError):
+            analyze(parse(
+                "aggregate G(float)[];"
+                "parallel f(G g parallel) { g[#0] = 1.0; }"
+                "main() { G a(4); let x = a[0]; }"
+            ))
+
+    def test_call_arity_checked(self):
+        with pytest.raises(CompileError):
+            analyze(parse(
+                "aggregate G(float)[];"
+                "parallel f(G g parallel) { g[#0] = 1.0; }"
+                "main() { G a(4); f(a, a); }"
+            ))
+
+    def test_call_aggregate_type_checked(self):
+        with pytest.raises(CompileError):
+            analyze(parse(
+                "aggregate G(float)[]; aggregate H(float)[];"
+                "parallel f(G g parallel) { g[#0] = 1.0; }"
+                "main() { H b(4); f(b); }"
+            ))
+
+    def test_scalar_arg_can_be_expression(self):
+        analyze(parse(
+            "aggregate G(float)[];"
+            "parallel f(G g parallel, float v) { g[#0] = v; }"
+            "main() { G a(4); let x = 2; f(a, x * 3 + 1); }"
+        ))
+
+    def test_undefined_scalar_rejected(self):
+        with pytest.raises(CompileError):
+            analyze(parse("main() { let x = y + 1; }"))
+
+    def test_dimension_count_checked(self):
+        with pytest.raises(CompileError):
+            analyze(parse(
+                "aggregate G(float)[][];"
+                "parallel f(G g parallel) { g[#0][#1] = 1.0; }"
+                "main() { G a(4); }"
+            ))

@@ -1,0 +1,174 @@
+"""End-to-end tests: compile C** source, run on the simulated machine, check
+values against NumPy references and timing behaviour against expectations."""
+
+import numpy as np
+import pytest
+
+from repro.core import make_machine
+from repro.cstar import compile_source
+from repro.util import CompileError, MachineConfig
+
+JACOBI = """
+aggregate Grid(float)[][];
+
+parallel init(Grid g parallel, float v) {
+  g[#0][#1] = v + #0 * 0.1 + #1 * 0.01;
+}
+
+parallel sweep(Grid g parallel, Grid src, int n) {
+  if (#0 > 0 && #0 < n - 1 && #1 > 0 && #1 < n - 1) {
+    g[#0][#1] = 0.25 * (src[#0+1][#1] + src[#0-1][#1] + src[#0][#1+1] + src[#0][#1-1]);
+  }
+}
+
+main() {
+  let n = 8;
+  Grid a(8, 8);
+  Grid b(8, 8);
+  init(a, 1.0);
+  init(b, 1.0);
+  for (i = 0; i < 4; i = i + 1) {
+    sweep(a, b, n);
+    sweep(b, a, n);
+  }
+}
+"""
+
+
+def jacobi_reference(n=8, iters=4):
+    def init(v):
+        g = np.zeros((n, n))
+        for i in range(n):
+            for j in range(n):
+                g[i, j] = v + i * 0.1 + j * 0.01
+        return g
+
+    a, b = init(1.0), init(1.0)
+
+    def sweep(dst, src):
+        out = dst.copy()
+        out[1:-1, 1:-1] = 0.25 * (
+            src[2:, 1:-1] + src[:-2, 1:-1] + src[1:-1, 2:] + src[1:-1, :-2]
+        )
+        return out
+
+    for _ in range(iters):
+        a = sweep(a, b)
+        b = sweep(b, a)
+    return a, b
+
+
+class TestValues:
+    @pytest.mark.parametrize("optimized", [False, True])
+    def test_jacobi_matches_numpy_reference(self, optimized):
+        prog = compile_source(JACOBI)
+        m = make_machine(
+            MachineConfig(n_nodes=4), "predictive" if optimized else "stache"
+        )
+        env = prog.run(m, optimized=optimized)
+        ref_a, ref_b = jacobi_reference()
+        np.testing.assert_allclose(env.agg("a").data, ref_a, rtol=1e-12)
+        np.testing.assert_allclose(env.agg("b").data, ref_b, rtol=1e-12)
+
+    def test_optimized_and_unoptimized_same_values(self):
+        prog = compile_source(JACOBI)
+        m1 = make_machine(MachineConfig(n_nodes=4), "stache")
+        m2 = make_machine(MachineConfig(n_nodes=4), "predictive")
+        e1 = prog.run(m1, optimized=False)
+        e2 = prog.run(m2, optimized=True)
+        np.testing.assert_array_equal(e1.agg("a").data, e2.agg("a").data)
+
+    def test_indirection_gather(self):
+        src = """
+        aggregate Vec(float)[];
+        aggregate Idx(int)[];
+        parallel fill(Vec v parallel) { v[#0] = #0 * 10.0; }
+        parallel perm(Idx x parallel, int n) { x[#0] = n - 1 - #0; }
+        parallel gather(Vec dst parallel, Vec src, Idx ind) {
+          dst[#0] = src[ind[#0]];
+        }
+        main() {
+          let n = 16;
+          Vec a(16); Vec b(16); Idx p(16);
+          fill(a); perm(p, n);
+          gather(b, a, p);
+        }
+        """
+        prog = compile_source(src)
+        env = prog.run(make_machine(MachineConfig(n_nodes=4), "predictive"))
+        expected = [(15 - i) * 10.0 for i in range(16)]
+        assert list(env.agg("b").data) == expected
+
+    def test_while_and_scalars(self):
+        src = """
+        aggregate V(float)[];
+        parallel setv(V v parallel, float x) { v[#0] = x; }
+        main() {
+          let total = 0;
+          let k = 4;
+          V a(4);
+          while (k > 0) {
+            total = total + k;
+            k = k - 1;
+          }
+          setv(a, total);
+        }
+        """
+        env = compile_source(src).run(make_machine(MachineConfig(n_nodes=2), "stache"))
+        assert list(env.agg("a").data) == [10.0] * 4
+
+    def test_intrinsics(self):
+        src = """
+        aggregate V(float)[];
+        parallel f(V v parallel) { v[#0] = sqrt(16.0) + abs(0.0 - 2.0) + max(1.0, 5.0); }
+        main() { V a(2); f(a); }
+        """
+        env = compile_source(src).run(make_machine(MachineConfig(n_nodes=2), "stache"))
+        assert list(env.agg("a").data) == [11.0, 11.0]
+
+
+class TestTimingBehaviour:
+    def test_predictive_reduces_remote_wait(self):
+        prog = compile_source(JACOBI)
+        m_base = make_machine(MachineConfig(n_nodes=4), "stache")
+        m_pred = make_machine(MachineConfig(n_nodes=4), "predictive")
+        s_base = prog.run(m_base, optimized=False).finish()
+        s_pred = prog.run(m_pred, optimized=True).finish()
+        assert (
+            s_pred.figure_breakdown()["Remote data wait"]
+            < s_base.figure_breakdown()["Remote data wait"]
+        )
+
+    def test_predictive_increases_hit_rate(self):
+        prog = compile_source(JACOBI)
+        s_base = prog.run(
+            make_machine(MachineConfig(n_nodes=4), "stache"), optimized=False
+        ).finish()
+        s_pred = prog.run(
+            make_machine(MachineConfig(n_nodes=4), "predictive"), optimized=True
+        ).finish()
+        assert s_pred.hit_rate > s_base.hit_rate
+
+    def test_conservation_in_compiled_run(self):
+        prog = compile_source(JACOBI)
+        stats = prog.run(
+            make_machine(MachineConfig(n_nodes=4), "predictive"), optimized=True
+        ).finish()
+        stats.check_conservation()
+
+
+class TestCompileErrors:
+    def test_div_zero_guarded(self):
+        src = """
+        aggregate V(float)[];
+        parallel f(V v parallel) { v[#0] = 1.0 / 0.0; }
+        main() { V a(2); f(a); }
+        """
+        from repro.util import SimulationError
+
+        with pytest.raises(SimulationError):
+            compile_source(src).run(make_machine(MachineConfig(n_nodes=2), "stache"))
+
+    def test_unknown_call_rejected_at_compile_time(self):
+        with pytest.raises(CompileError):
+            compile_source("main() { ghost(); }")

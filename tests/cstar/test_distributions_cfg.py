@@ -1,0 +1,94 @@
+"""Remaining corners: Tiled2D geometry, CFG orderings, flow helpers."""
+
+import pytest
+
+from repro.cstar.access import Access, AccessKind, AccessSummary, Locality
+from repro.cstar.cfg import build_cfg
+from repro.cstar.flow import (
+    FlowCall,
+    FlowLoop,
+    FlowSeq,
+    collect_aggregates,
+    iter_calls,
+)
+from repro.cstar.runtime import Tiled2D
+
+
+class TestTiled2D:
+    def test_square_grid_for_square_node_count(self):
+        d = Tiled2D(rows=8, cols=8, nodes=4)
+        assert d._grid() == (2, 2)
+
+    def test_rectangular_grid(self):
+        d = Tiled2D(rows=8, cols=8, nodes=8)
+        gr, gc = d._grid()
+        assert gr * gc == 8
+
+    def test_tiles_are_contiguous_rectangles(self):
+        d = Tiled2D(rows=8, cols=8, nodes=4)
+        # the four quadrants map to four distinct nodes
+        corners = {
+            d.owner((0, 0)), d.owner((0, 7)), d.owner((7, 0)), d.owner((7, 7))
+        }
+        assert len(corners) == 4
+
+    def test_every_cell_has_valid_owner(self):
+        d = Tiled2D(rows=5, cols=7, nodes=6)
+        for i in range(5):
+            for j in range(7):
+                assert 0 <= d.owner((i, j)) < 6
+
+    def test_validate(self):
+        from repro.util import ConfigError
+
+        with pytest.raises(ConfigError):
+            Tiled2D(rows=4, cols=4, nodes=2).validate((5, 4))
+
+
+def call(fn="f", *accesses):
+    return FlowCall(function=fn, summary=AccessSummary(fn, accesses))
+
+
+class TestCfgOrderings:
+    def test_reverse_postorder_visits_all_reachable(self):
+        a, b_ = call("a"), call("b")
+        tree = FlowSeq([a, FlowLoop(body=FlowSeq([b_]))])
+        cfg, _ = build_cfg(tree)
+        order = cfg.reverse_postorder()
+        assert order[0] is cfg.entry
+        assert len({bb.id for bb in order}) == len(order)
+        assert cfg.exit in order
+
+    def test_predecessor_precedes_in_rpo_for_acyclic(self):
+        a, b_ = call("a"), call("b")
+        cfg, blocks = build_cfg(FlowSeq([a, b_]))
+        order = {bb.id: i for i, bb in enumerate(cfg.reverse_postorder())}
+        assert order[blocks[a.site_id].id] < order[blocks[b_.site_id].id]
+
+    def test_edge_is_idempotent(self):
+        cfg, _ = build_cfg(FlowSeq([]))
+        x, y = cfg.new_block(), cfg.new_block()
+        cfg.edge(x, y)
+        cfg.edge(x, y)
+        assert x.succs.count(y) == 1
+        assert y.preds.count(x) == 1
+
+
+class TestFlowHelpers:
+    def test_collect_aggregates_first_seen_order(self):
+        tree = FlowSeq([
+            call("f", Access("zeta", AccessKind.READ, Locality.NON_HOME)),
+            call("g", Access("alpha", AccessKind.WRITE, Locality.HOME)),
+            call("h", Access("zeta", AccessKind.WRITE, Locality.HOME)),
+        ])
+        assert collect_aggregates(tree) == ["zeta", "alpha"]
+
+    def test_iter_calls_covers_nesting(self):
+        inner = call("inner")
+        tree = FlowSeq([FlowLoop(body=FlowSeq([FlowLoop(body=FlowSeq([inner]))]))])
+        assert [c.function for c in iter_calls(tree)] == ["inner"]
+
+    def test_site_ids_unique(self):
+        calls = [call(f"f{i}") for i in range(10)]
+        ids = [c.site_id for c in calls]
+        assert len(set(ids)) == 10

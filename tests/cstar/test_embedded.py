@@ -1,0 +1,178 @@
+"""Tests for the embedded frontend and the flow-tree executor (driver)."""
+
+import numpy as np
+import pytest
+
+from repro.core import make_machine
+from repro.cstar.driver import Env, execute
+from repro.cstar.embedded import EmbeddedProgram, LoopSpec, access
+from repro.cstar.flow import FlowGroup, FlowSeq, iter_calls
+from repro.util import CompileError, MachineConfig, SimulationError
+
+
+def simple_program(iterations=3, n=8):
+    """Producer-consumer: 'dst' gathers from 'src', then 'src' updated."""
+
+    def setup(env):
+        env.runtime.aggregate("src", (n,))
+        env.runtime.aggregate("dst", (n,))
+        env.agg("src").data[:] = np.arange(n, dtype=float)
+
+    prog = EmbeddedProgram("simple", setup)
+
+    def gather(ctx, env):
+        i = ctx.pos[0]
+        src, dst = env.agg("src"), env.agg("dst")
+        v = ctx.read(src, ((i + 1) % n,))
+        ctx.charge(2)
+        ctx.write(dst, (i,), v * 2.0)
+
+    def bump(ctx, env):
+        i = ctx.pos[0]
+        src = env.agg("src")
+        v = ctx.read(src, (i,))
+        ctx.write(src, (i,), v + 1.0)
+
+    prog.parallel("gather", [
+        access("src", "r", "non-home"),
+        access("dst", "w", "home"),
+    ], gather)
+    prog.parallel("bump", [
+        access("src", "r", "home"),
+        access("src", "w", "home"),
+    ], bump)
+    prog.build(
+        prog.loop(iterations,
+                  prog.call("gather", over="dst", snapshot=["src"]),
+                  prog.call("bump", over="src")),
+    )
+    return prog
+
+
+class TestDeclarations:
+    def test_duplicate_function_rejected(self):
+        prog = EmbeddedProgram("x", lambda env: None)
+        prog.parallel("f", [], lambda ctx, env: None)
+        with pytest.raises(CompileError):
+            prog.parallel("f", [], lambda ctx, env: None)
+
+    def test_call_to_undeclared_rejected(self):
+        prog = EmbeddedProgram("x", lambda env: None)
+        with pytest.raises(CompileError):
+            prog.call("ghost", over="a")
+
+    def test_compile_without_main_rejected(self):
+        prog = EmbeddedProgram("x", lambda env: None)
+        with pytest.raises(CompileError):
+            prog.compile()
+
+    def test_compile_is_cached(self):
+        prog = simple_program()
+        assert prog.compile() is prog.compile()
+
+    def test_access_shorthand(self):
+        from repro.cstar.access import AccessKind, Locality
+
+        a = access("x", "r", "non-home")
+        assert a.kind is AccessKind.READ
+        assert a.locality is Locality.NON_HOME
+        b = access("x", "w", "home")
+        assert b.kind is AccessKind.WRITE
+        assert b.locality is Locality.HOME
+
+
+class TestPlacementIntegration:
+    def test_two_directives_for_producer_consumer(self):
+        prog = simple_program()
+        placement = prog.compile()
+        assert len(placement.groups) == 2
+
+    def test_groups_in_placed_tree(self):
+        prog = simple_program()
+        root = prog.compile().root
+
+        def count_groups(node):
+            if isinstance(node, FlowGroup):
+                return 1 + count_groups(node.body)
+            if isinstance(node, FlowSeq):
+                return sum(count_groups(c) for c in node.children)
+            body = getattr(node, "body", None)
+            return count_groups(body) if body is not None else 0
+
+        assert count_groups(root) == 2
+
+    def test_unoptimized_run_ignores_directives(self):
+        prog = simple_program()
+        m = make_machine(MachineConfig(n_nodes=2), "predictive")
+        prog.run(m, optimized=False)
+        assert all(len(s) == 0 for s in m.protocol.schedules.values())
+
+
+class TestExecution:
+    def test_values(self):
+        prog = simple_program(iterations=1, n=4)
+        m = make_machine(MachineConfig(n_nodes=2), "stache")
+        env = prog.run(m, optimized=False)
+        # gather reads pre-phase src [0,1,2,3]: dst[i] = 2*src[i+1 mod 4]
+        assert list(env.agg("dst").data) == [2.0, 4.0, 6.0, 0.0]
+        # bump ran after
+        assert list(env.agg("src").data) == [1.0, 2.0, 3.0, 4.0]
+
+    def test_optimized_and_unoptimized_values_agree(self):
+        e1 = simple_program().run(
+            make_machine(MachineConfig(n_nodes=2), "stache"), optimized=False
+        )
+        e2 = simple_program().run(
+            make_machine(MachineConfig(n_nodes=2), "predictive"), optimized=True
+        )
+        np.testing.assert_array_equal(e1.agg("dst").data, e2.agg("dst").data)
+        np.testing.assert_array_equal(e1.agg("src").data, e2.agg("src").data)
+
+    def test_loop_with_callable_count(self):
+        ticks = []
+        prog = EmbeddedProgram("x", lambda env: env.state.update(k=0))
+        prog.build(prog.loop(lambda env: env.params["n"],
+                             prog.stmt(lambda env: ticks.append(1))))
+        prog.run(make_machine(MachineConfig(n_nodes=2), "stache"),
+                 params={"n": 5})
+        assert len(ticks) == 5
+
+    def test_loop_with_condition(self):
+        prog = EmbeddedProgram("x", lambda env: env.state.update(k=3))
+
+        def dec(env):
+            env.state["k"] -= 1
+
+        prog.build(prog.loop(LoopSpec(cond=lambda env: env.state["k"] > 0),
+                             prog.stmt(dec)))
+        env = prog.run(make_machine(MachineConfig(n_nodes=2), "stache"))
+        assert env.state["k"] == 0
+
+    def test_if_branches(self):
+        taken = []
+        prog = EmbeddedProgram("x", lambda env: None)
+        prog.build(
+            prog.if_(lambda env: env.params["flag"],
+                     [prog.stmt(lambda env: taken.append("then"))],
+                     [prog.stmt(lambda env: taken.append("else"))]),
+        )
+        prog.run(make_machine(MachineConfig(n_nodes=2), "stache"),
+                 params={"flag": True})
+        prog.run(make_machine(MachineConfig(n_nodes=2), "stache"),
+                 params={"flag": False})
+        assert taken == ["then", "else"]
+
+    def test_loop_without_spec_rejected(self):
+        from repro.cstar.flow import FlowLoop
+
+        env = Env(runtime=None)
+        with pytest.raises(SimulationError):
+            execute(FlowLoop(), env)
+
+    def test_call_without_payload_rejected(self):
+        from repro.cstar.access import AccessSummary
+        from repro.cstar.flow import FlowCall
+
+        env = Env(runtime=None)
+        with pytest.raises(SimulationError):
+            execute(FlowCall("f", AccessSummary("f")), env)

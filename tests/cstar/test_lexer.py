@@ -1,0 +1,78 @@
+"""Tests for the C** lexer."""
+
+import pytest
+
+from repro.cstar.lexer import Token, tokenize
+from repro.util import CompileError
+
+
+def kinds(src):
+    return [(t.kind, t.text) for t in tokenize(src) if t.kind != "eof"]
+
+
+class TestBasics:
+    def test_empty(self):
+        toks = tokenize("")
+        assert toks[-1].kind == "eof"
+        assert len(toks) == 1
+
+    def test_keywords_vs_names(self):
+        assert kinds("parallel foo") == [("kw", "parallel"), ("name", "foo")]
+
+    def test_numbers(self):
+        toks = tokenize("42 3.5 1e3 2.5e-2")
+        assert toks[0].value == 42 and isinstance(toks[0].value, int)
+        assert toks[1].value == 3.5
+        assert toks[2].value == 1000.0
+        assert toks[3].value == 0.025
+
+    def test_position_pseudovars(self):
+        toks = tokenize("#0 #1 #12")
+        assert [t.value for t in toks[:-1]] == [0, 1, 12]
+        assert all(t.kind == "pos" for t in toks[:-1])
+
+    def test_bad_position(self):
+        with pytest.raises(CompileError):
+            tokenize("#x")
+
+    def test_operators_maximal_munch(self):
+        assert kinds("a <= b == c && d") == [
+            ("name", "a"), ("op", "<="), ("name", "b"), ("op", "=="),
+            ("name", "c"), ("op", "&&"), ("name", "d"),
+        ]
+
+    def test_punct(self):
+        assert [k for k, _ in kinds("( ) { } [ ] , ;")] == ["punct"] * 8
+
+    def test_unexpected_char(self):
+        with pytest.raises(CompileError) as ei:
+            tokenize("a @ b")
+        assert "@" in str(ei.value)
+
+
+class TestComments:
+    def test_line_comment(self):
+        assert kinds("a // comment\nb") == [("name", "a"), ("name", "b")]
+
+    def test_block_comment(self):
+        assert kinds("a /* x\ny */ b") == [("name", "a"), ("name", "b")]
+
+    def test_unterminated_block(self):
+        with pytest.raises(CompileError):
+            tokenize("a /* never ends")
+
+
+class TestLocations:
+    def test_line_col_tracking(self):
+        toks = tokenize("a\n  b")
+        assert (toks[0].line, toks[0].col) == (1, 1)
+        assert (toks[1].line, toks[1].col) == (2, 3)
+
+    def test_error_carries_location(self):
+        with pytest.raises(CompileError) as ei:
+            tokenize("ok\n  $")
+        assert ei.value.line == 2
+
+    def test_lines_after_block_comment(self):
+        toks = tokenize("/* a\nb\nc */ x")
+        assert toks[0].line == 3

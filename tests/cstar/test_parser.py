@@ -1,0 +1,151 @@
+"""Tests for the C** parser."""
+
+import pytest
+
+from repro.cstar import astnodes as A
+from repro.cstar.parser import parse
+from repro.util import CompileError
+
+MINI = """
+aggregate Grid(float)[][];
+parallel f(Grid g parallel) { g[#0][#1] = 1.0; }
+main() { Grid a(4, 4); f(a); }
+"""
+
+
+class TestDeclarations:
+    def test_program_shape(self):
+        p = parse(MINI)
+        assert len(p.aggregates) == 1
+        assert len(p.functions) == 1
+        assert p.main is not None
+
+    def test_aggregate_decl(self):
+        p = parse(MINI)
+        d = p.aggregates[0]
+        assert d.name == "Grid" and d.base_type == "float" and d.rank == 2
+
+    def test_aggregate_int_1d(self):
+        p = parse("aggregate Idx(int)[]; parallel f(Idx x parallel){x[#0]=0;} main(){}")
+        assert p.aggregates[0].base_type == "int"
+        assert p.aggregates[0].rank == 1
+
+    def test_aggregate_needs_dims(self):
+        with pytest.raises(CompileError):
+            parse("aggregate Bad(float); main(){}")
+
+    def test_parallel_param_marker(self):
+        p = parse(
+            "aggregate G(float)[]; parallel f(G a, G b parallel) {b[#0]=a[#0];} main(){}"
+        )
+        f = p.functions[0]
+        assert f.parallel_param().name == "b"
+
+    def test_default_parallel_param_is_first(self):
+        p = parse("aggregate G(float)[]; parallel f(G a, G b) {a[#0]=b[#0];} main(){}")
+        assert p.functions[0].parallel_param().name == "a"
+
+    def test_two_parallel_params_rejected(self):
+        with pytest.raises(CompileError):
+            parse(
+                "aggregate G(float)[];"
+                "parallel f(G a parallel, G b parallel) {a[#0]=1.0;} main(){}"
+            )
+
+    def test_missing_main(self):
+        with pytest.raises(CompileError):
+            parse("aggregate G(float)[];")
+
+    def test_duplicate_main(self):
+        with pytest.raises(CompileError):
+            parse("main(){} main(){}")
+
+
+class TestStatements:
+    def wrap(self, body):
+        return parse(
+            "aggregate G(float)[]; parallel f(G g parallel){g[#0]=1.0;}"
+            "main(){" + body + "}"
+        ).main.body
+
+    def test_let(self):
+        (s,) = self.wrap("let x = 3;")
+        assert isinstance(s, A.Let) and s.name == "x"
+
+    def test_instantiation(self):
+        (s,) = self.wrap("G a(10);")
+        assert isinstance(s, A.NewAggregate)
+        assert s.type_name == "G" and s.name == "a" and len(s.dims) == 1
+
+    def test_for_loop(self):
+        (s,) = self.wrap("for (i = 0; i < 10; i = i + 1) { let y = i; }")
+        assert isinstance(s, A.For)
+        assert s.init.name == "i"
+        assert isinstance(s.cond, A.BinOp)
+
+    def test_while(self):
+        stmts = self.wrap("let x = 5; while (x > 0) { x = x - 1; }")
+        assert isinstance(stmts[1], A.While)
+
+    def test_if_else(self):
+        stmts = self.wrap("let x = 1; if (x > 0) { x = 2; } else { x = 3; }")
+        s = stmts[1]
+        assert isinstance(s, A.If) and len(s.else_body) == 1
+
+    def test_else_if_chain(self):
+        stmts = self.wrap(
+            "let x = 1; if (x > 2) { x = 0; } else if (x > 1) { x = 5; } else { x = 9; }"
+        )
+        s = stmts[1]
+        assert isinstance(s.else_body[0], A.If)
+
+    def test_call(self):
+        stmts = self.wrap("G a(4); f(a);")
+        assert isinstance(stmts[1], A.ParCallStmt)
+        assert stmts[1].func == "f"
+
+
+class TestExpressions:
+    def expr(self, text):
+        p = parse(
+            "aggregate G(float)[]; parallel f(G g parallel){g[#0] = " + text + ";}"
+            "main(){}"
+        )
+        stmt = p.functions[0].body[0]
+        return stmt.value
+
+    def test_precedence_mul_over_add(self):
+        e = self.expr("1 + 2 * 3")
+        assert isinstance(e, A.BinOp) and e.op == "+"
+        assert isinstance(e.right, A.BinOp) and e.right.op == "*"
+
+    def test_parens_override(self):
+        e = self.expr("(1 + 2) * 3")
+        assert e.op == "*"
+        assert isinstance(e.left, A.BinOp) and e.left.op == "+"
+
+    def test_comparison_below_logical(self):
+        e = self.expr("1 < 2 && 3 < 4")
+        assert e.op == "&&"
+
+    def test_unary_minus(self):
+        e = self.expr("-g[#0]")
+        assert isinstance(e, A.UnOp) and e.op == "-"
+
+    def test_indexing_with_offsets(self):
+        e = self.expr("g[#0 + 1]")
+        assert isinstance(e, A.Index)
+        assert isinstance(e.indices[0], A.BinOp)
+
+    def test_intrinsic(self):
+        e = self.expr("sqrt(g[#0])")
+        assert isinstance(e, A.Intrinsic) and e.func == "sqrt"
+
+    def test_non_intrinsic_call_in_expr_rejected(self):
+        with pytest.raises(CompileError):
+            self.expr("helper(1)")
+
+    def test_left_associativity(self):
+        e = self.expr("8 - 4 - 2")
+        assert e.op == "-" and isinstance(e.left, A.BinOp)
+        assert e.right == A.Num(2)

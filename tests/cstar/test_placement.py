@@ -1,0 +1,219 @@
+"""Tests for directive placement, coalescing, and loop hoisting (paper §4.3),
+including a fixture reproducing the Barnes CFG of the paper's Figure 4."""
+
+import pytest
+
+from repro.cstar.access import Access, AccessKind, AccessSummary, Locality
+from repro.cstar.flow import (
+    FlowCall,
+    FlowGroup,
+    FlowIf,
+    FlowLoop,
+    FlowSeq,
+    FlowStmt,
+    iter_calls,
+)
+from repro.cstar.placement import place_directives
+
+H, NH = Locality.HOME, Locality.NON_HOME
+R, W = AccessKind.READ, AccessKind.WRITE
+
+
+def call(fn, *accesses):
+    return FlowCall(function=fn, summary=AccessSummary(fn, accesses))
+
+
+class TestPlacementRules:
+    def test_rule2_unstructured_call_needs_schedule(self):
+        c = call("gather", Access("x", R, NH))
+        res = place_directives(FlowSeq([c]))
+        assert res.needs_schedule[c.site_id]
+        assert res.group_of(c.site_id) is not None
+
+    def test_rule1_owner_write_reached_by_unstructured(self):
+        reader = call("force", Access("b", R, NH))
+        writer = call("update", Access("b", W, H))
+        res = place_directives(FlowSeq([reader, writer]))
+        assert res.needs_schedule[writer.site_id]
+
+    def test_owner_write_not_reached_needs_nothing(self):
+        writer = call("init", Access("b", W, H))
+        reader = call("force", Access("b", R, NH))
+        res = place_directives(FlowSeq([writer, reader]))
+        assert not res.needs_schedule[writer.site_id]
+        assert res.group_of(writer.site_id) is None
+
+    def test_pure_home_program_gets_no_directives(self):
+        c1 = call("a", Access("x", W, H))
+        c2 = call("b", Access("x", R, H), Access("x", W, H))
+        res = place_directives(FlowSeq([c1, c2]))
+        assert res.groups == []
+
+    def test_different_aggregates_do_not_trigger_rule1(self):
+        reader = call("force", Access("tree", R, NH))
+        writer = call("update", Access("bodies", W, H))
+        res = place_directives(FlowSeq([reader, writer]))
+        assert not res.needs_schedule[writer.site_id]
+
+
+class TestCoalescing:
+    def test_adjacent_home_phases_coalesce(self):
+        # two distinct aggregates so the first owner-write's kill does not
+        # remove the second's rule-1 trigger
+        reader = call("force", Access("b", R, NH), Access("c", R, NH))
+        w1 = call("u1", Access("b", W, H))
+        w2 = call("u2", Access("c", W, H))
+        tree = FlowSeq([FlowLoop(body=FlowSeq([reader, w1, w2]))])
+        res = place_directives(tree)
+        g1 = res.group_of(w1.site_id)
+        g2 = res.group_of(w2.site_id)
+        assert g1 is not None and g1 is g2  # one schedule for both
+
+    def test_second_write_to_same_aggregate_needs_nothing(self):
+        """The first owner write killed all remote copies; the second write
+        communicates nothing and gets no directive."""
+        reader = call("force", Access("b", R, NH))
+        w1 = call("u1", Access("b", W, H))
+        w2 = call("u2", Access("b", W, H))
+        tree = FlowSeq([FlowLoop(body=FlowSeq([reader, w1, w2]))])
+        res = place_directives(tree)
+        assert res.group_of(w1.site_id) is not None
+        assert not res.needs_schedule[w2.site_id]
+
+    def test_unstructured_call_gets_its_own_group(self):
+        reader = call("force", Access("b", R, NH))
+        w1 = call("u1", Access("b", W, H))
+        tree = FlowSeq([FlowLoop(body=FlowSeq([reader, w1]))])
+        res = place_directives(tree)
+        assert res.group_of(reader.site_id) is not res.group_of(w1.site_id)
+
+    def test_sequential_stmts_absorbed_into_group(self):
+        reader = call("force", Access("b", R, NH), Access("c", R, NH))
+        w1 = call("u1", Access("b", W, H))
+        w2 = call("u2", Access("c", W, H))
+        tree = FlowSeq([FlowLoop(body=FlowSeq([reader, w1, FlowStmt(), w2]))])
+        res = place_directives(tree)
+        assert res.group_of(w1.site_id) is res.group_of(w2.site_id)
+
+    def test_home_call_without_schedule_absorbed(self):
+        reader = call("force", Access("b", R, NH), Access("c", R, NH))
+        w1 = call("u1", Access("b", W, H))
+        other = call("local", Access("d", W, H))  # needs nothing
+        w2 = call("u2", Access("c", W, H))
+        tree = FlowSeq([FlowLoop(body=FlowSeq([reader, w1, other, w2]))])
+        res = place_directives(tree)
+        assert res.group_of(w1.site_id) is res.group_of(w2.site_id)
+
+    def test_groups_never_nest(self):
+        reader = call("force", Access("b", R, NH))
+        w1 = call("u1", Access("b", W, H))
+        res = place_directives(FlowSeq([FlowLoop(body=FlowSeq([reader, w1]))]))
+
+        def check(node, inside):
+            if isinstance(node, FlowGroup):
+                assert not inside, "nested FlowGroup"
+                check(node.body, True)
+            elif isinstance(node, FlowSeq):
+                for c in node.children:
+                    check(c, inside)
+            elif isinstance(node, FlowLoop):
+                check(node.body, inside)
+            elif isinstance(node, FlowIf):
+                check(node.then_body, inside)
+                check(node.else_body, inside)
+
+        check(res.root, False)
+
+
+class TestHoisting:
+    def test_home_only_loop_hoisted(self):
+        """The center-of-mass case: a loop of home-only calls that need a
+        schedule gets one directive before the loop, not one per iteration."""
+        scatter = call("build", Access("tree", W, NH))
+        com = call("center_of_mass", Access("tree", W, H), Access("tree", R, H))
+        tree = FlowSeq([
+            FlowLoop(body=FlowSeq([
+                scatter,
+                FlowLoop(body=FlowSeq([com])),
+            ]))
+        ])
+        res = place_directives(tree)
+        g = res.group_of(com.site_id)
+        assert g is not None and g.hoisted
+
+    def test_loop_with_unstructured_calls_not_hoisted(self):
+        inner = call("gather", Access("x", R, NH))
+        tree = FlowSeq([FlowLoop(body=FlowSeq([inner]))])
+        res = place_directives(tree)
+        g = res.group_of(inner.site_id)
+        assert g is not None and not g.hoisted
+
+    def test_placement_idempotence_guard(self):
+        c = call("gather", Access("x", R, NH))
+        res = place_directives(FlowSeq([c]))
+        from repro.util import CompileError
+
+        with pytest.raises(CompileError):
+            place_directives(res.root)
+
+
+class TestBarnesFigure4:
+    """The paper's Figure 4: the Barnes main loop with four placed phases,
+    the center-of-mass loop's schedule hoisted (its 'phase 3')."""
+
+    def build(self):
+        # main loop: force computation (unstructured tree AND body reads —
+        # a body's force terms come from other processors' bodies at tree
+        # leaves — plus owner writes of its own accelerations); body update
+        # (owner writes); tree build (unstructured tree writes); center-of-
+        # mass loop (home-only tree accesses).
+        self.force = call(
+            "compute_forces",
+            Access("tree", R, NH),
+            Access("bodies", R, NH),
+            Access("bodies", W, H),
+        )
+        self.update = call(
+            "update_bodies", Access("bodies", R, H), Access("bodies", W, H)
+        )
+        self.build_tree = call(
+            "build_tree", Access("tree", W, NH), Access("bodies", R, NH)
+        )
+        self.com = call(
+            "center_of_mass", Access("tree", R, H), Access("tree", W, H)
+        )
+        return FlowSeq([
+            FlowLoop(body=FlowSeq([
+                self.force,
+                self.update,
+                self.build_tree,
+                FlowLoop(body=FlowSeq([self.com])),
+            ]))
+        ])
+
+    def test_four_phases_placed(self):
+        res = place_directives(self.build())
+        assert len(res.groups) == 4
+
+    def test_each_call_covered(self):
+        res = place_directives(self.build())
+        for c in (self.force, self.update, self.build_tree, self.com):
+            assert res.group_of(c.site_id) is not None
+
+    def test_com_phase_hoisted_out_of_inner_loop(self):
+        res = place_directives(self.build())
+        g = res.group_of(self.com.site_id)
+        assert g.hoisted
+
+    def test_update_needed_by_rule1(self):
+        res = place_directives(self.build())
+        assert res.needs_schedule[self.update.site_id]
+        # compute_forces' unstructured reads of bodies leave remote copies
+        # that update's owner writes must invalidate (rule 1)
+        assert "bodies" in res.analysis.reaching_set(self.update)
+        assert self.update.summary.is_home_only()
+
+    def test_groups_are_distinct_directives(self):
+        res = place_directives(self.build())
+        ids = [g.directive.id for g in res.groups]
+        assert len(set(ids)) == 4

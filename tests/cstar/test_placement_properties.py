@@ -1,0 +1,148 @@
+"""Property-based tests of the dataflow and placement passes over random
+flow trees."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.cstar.access import Access, AccessKind, AccessSummary, Locality
+from repro.cstar.dataflow import ReachingUnstructured
+from repro.cstar.flow import (
+    FlowCall,
+    FlowGroup,
+    FlowIf,
+    FlowLoop,
+    FlowSeq,
+    FlowStmt,
+    iter_calls,
+)
+from repro.cstar.placement import place_directives
+
+AGGS = ["a", "b", "c"]
+H, NH = Locality.HOME, Locality.NON_HOME
+R, W = AccessKind.READ, AccessKind.WRITE
+
+access_strategy = st.tuples(
+    st.sampled_from(AGGS),
+    st.sampled_from([R, W]),
+    st.sampled_from([H, NH]),
+).map(lambda t: Access(*t))
+
+call_strategy = st.lists(access_strategy, max_size=4).map(
+    lambda accs: FlowCall(function="f", summary=AccessSummary("f", accs))
+)
+
+leaf = st.one_of(call_strategy, st.builds(FlowStmt))
+
+
+def trees(depth: int):
+    if depth == 0:
+        return leaf
+    sub = trees(depth - 1)
+    seq = st.lists(sub, min_size=0, max_size=3).map(FlowSeq)
+    return st.one_of(
+        leaf,
+        seq.map(lambda s: FlowLoop(body=s)),
+        st.tuples(seq, seq).map(lambda ts: FlowIf(then_body=ts[0], else_body=ts[1])),
+        seq,
+    )
+
+
+tree_strategy = st.lists(trees(2), min_size=1, max_size=4).map(FlowSeq)
+
+
+class TestDataflowProperties:
+    @given(tree_strategy)
+    @settings(max_examples=80, deadline=None)
+    def test_fixpoint_terminates_and_is_complete(self, tree):
+        analysis = ReachingUnstructured(tree)
+        assert analysis.iterations < 30
+        for call in iter_calls(tree):
+            assert call.site_id in analysis.call_in
+
+    @given(tree_strategy)
+    @settings(max_examples=80, deadline=None)
+    def test_reaching_only_generated_aggregates(self, tree):
+        """An aggregate with no unstructured access anywhere never has the
+        reaching property at any call."""
+        analysis = ReachingUnstructured(tree)
+        generated = set()
+        for call in iter_calls(tree):
+            generated |= call.summary.unstructured()
+        for call in iter_calls(tree):
+            assert analysis.reaching_set(call) <= generated
+
+    @given(tree_strategy)
+    @settings(max_examples=60, deadline=None)
+    def test_straightline_prefix_property(self, tree):
+        """The first call in the program can only be reached by nothing
+        (entry IN is empty, and it is the first transfer applied)."""
+        calls = list(iter_calls(tree))
+        if not calls:
+            return
+        analysis = ReachingUnstructured(tree)
+        first = calls[0]
+        # the first call *in tree order* may still be inside a loop (back
+        # edge feeds it), so only assert when it is at top level, before
+        # any loop
+        for child in tree.children:
+            if isinstance(child, FlowCall):
+                assert analysis.reaching_set(child) == set() or True
+                # the very first top-level call truly has empty IN
+                assert analysis.reaching_set(child) == set()
+            break
+
+
+class TestPlacementProperties:
+    @given(tree_strategy)
+    @settings(max_examples=80, deadline=None)
+    def test_every_unstructured_call_is_covered(self, tree):
+        res = place_directives(tree)
+        for call in iter_calls(res.root):
+            if call.summary.unstructured():
+                assert res.group_of(call.site_id) is not None
+
+    @given(tree_strategy)
+    @settings(max_examples=80, deadline=None)
+    def test_groups_partition_their_sites(self, tree):
+        res = place_directives(tree)
+        seen: set[int] = set()
+        for g in res.groups:
+            for s in g.site_ids:
+                assert s not in seen, "site in two groups"
+                seen.add(s)
+
+    @given(tree_strategy)
+    @settings(max_examples=80, deadline=None)
+    def test_groups_never_nest(self, tree):
+        res = place_directives(tree)
+
+        def walk(node, inside):
+            if isinstance(node, FlowGroup):
+                assert not inside
+                walk(node.body, True)
+            elif isinstance(node, FlowSeq):
+                for c in node.children:
+                    walk(c, inside)
+            elif isinstance(node, FlowLoop):
+                walk(node.body, inside)
+            elif isinstance(node, FlowIf):
+                walk(node.then_body, inside)
+                walk(node.else_body, inside)
+
+        walk(res.root, False)
+
+    @given(tree_strategy)
+    @settings(max_examples=80, deadline=None)
+    def test_placement_preserves_call_order(self, tree):
+        before = [c.site_id for c in iter_calls(tree)]
+        res = place_directives(tree)
+        after = [c.site_id for c in iter_calls(res.root)]
+        assert before == after
+
+    @given(tree_strategy)
+    @settings(max_examples=60, deadline=None)
+    def test_home_only_programs_get_no_groups(self, tree):
+        if any(c.summary.unstructured() for c in iter_calls(tree)):
+            return
+        res = place_directives(tree)
+        assert res.groups == []

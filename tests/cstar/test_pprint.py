@@ -1,0 +1,119 @@
+"""Round-trip tests: parse(pprint(ast)) == ast, including fuzzed expressions."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.cstar import astnodes as A
+from repro.cstar.parser import parse
+from repro.cstar.pprint import pprint_expr, pprint_program
+
+# ----------------------------------------------------------------------------- #
+# expression fuzzing
+# ----------------------------------------------------------------------------- #
+
+leaf_exprs = st.one_of(
+    st.integers(min_value=0, max_value=999).map(A.Num),
+    st.floats(min_value=0.0, max_value=100.0, allow_nan=False,
+              allow_infinity=False).map(lambda v: A.Num(round(v, 3))),
+    st.sampled_from(["x", "y", "k"]).map(A.Name),
+    st.integers(min_value=0, max_value=1).map(A.Pos),
+)
+
+ops = st.sampled_from(["+", "-", "*", "/", "<", "<=", "==", "&&", "||"])
+
+
+def exprs(depth: int):
+    if depth == 0:
+        return leaf_exprs
+    sub = exprs(depth - 1)
+    return st.one_of(
+        leaf_exprs,
+        st.tuples(ops, sub, sub).map(lambda t: A.BinOp(*t)),
+        sub.map(lambda e: A.UnOp("-", e)),
+        st.tuples(sub, sub).map(lambda t: A.Intrinsic("min", t)),
+        sub.map(lambda e: A.Index("g", (e,))),
+    )
+
+
+def parse_expr_via_program(text: str) -> A.Node:
+    """Embed the expression in a parallel function and re-extract it."""
+    src = (
+        "aggregate G(float)[];\n"
+        "parallel f(G g parallel, float x, float y, int k) "
+        "{ g[#0] = " + text + "; }\n"
+        "main() { }\n"
+    )
+    program = parse(src)
+    stmt = program.functions[0].body[0]
+    assert isinstance(stmt, A.AssignElem)
+    return stmt.value
+
+
+class TestExpressionRoundTrip:
+    @given(exprs(3))
+    @settings(max_examples=200, deadline=None)
+    def test_round_trip(self, e):
+        text = pprint_expr(e)
+        assert parse_expr_via_program(text) == e
+
+    def test_precedence_needs_parens(self):
+        e = A.BinOp("*", A.BinOp("+", A.Num(1), A.Num(2)), A.Num(3))
+        assert pprint_expr(e) == "(1 + 2) * 3"
+
+    def test_right_assoc_parens(self):
+        # 8 - (4 - 2) must keep its parens
+        e = A.BinOp("-", A.Num(8), A.BinOp("-", A.Num(4), A.Num(2)))
+        text = pprint_expr(e)
+        assert parse_expr_via_program(text) == e
+        assert "(" in text
+
+    def test_left_assoc_no_parens(self):
+        e = A.BinOp("-", A.BinOp("-", A.Num(8), A.Num(4)), A.Num(2))
+        assert pprint_expr(e) == "8 - 4 - 2"
+
+
+class TestProgramRoundTrip:
+    SOURCES = [
+        """
+        aggregate Grid(float)[][];
+        parallel sweep(Grid g parallel, Grid src, int n) {
+          if (#0 > 0 && #0 < n - 1) {
+            g[#0][#1] = 0.25 * (src[#0+1][#1] + src[#0-1][#1]);
+          }
+        }
+        main() {
+          let n = 8;
+          Grid a(8, 8);
+          Grid b(8, 8);
+          for (i = 0; i < 3; i = i + 1) { sweep(a, b, n); sweep(b, a, n); }
+        }
+        """,
+        """
+        aggregate V(float)[];
+        parallel f(V v parallel) {
+          let s = 0.0;
+          while (s < 3.0) { s = s + 1.0; }
+          v[#0] = s;
+        }
+        main() {
+          V a(4);
+          f(a);
+          let t = reduce_add(a);
+          if (t > 0.0) { t = t - 1.0; } else { t = 0.0; }
+        }
+        """,
+    ]
+
+    @pytest.mark.parametrize("src", SOURCES)
+    def test_program_round_trip(self, src):
+        ast1 = parse(src)
+        printed = pprint_program(ast1)
+        ast2 = parse(printed)
+        assert ast1 == ast2
+
+    def test_double_print_is_stable(self):
+        ast = parse(self.SOURCES[0])
+        p1 = pprint_program(ast)
+        p2 = pprint_program(parse(p1))
+        assert p1 == p2

@@ -1,0 +1,133 @@
+"""Tests for C**'s main-level reductions (the language-level support the
+paper contrasts with protocol-optimized communication)."""
+
+import pytest
+
+from repro.core import make_machine
+from repro.cstar import compile_source
+from repro.util import CompileError, MachineConfig
+
+
+def run(src, protocol="stache", n_nodes=4):
+    m = make_machine(MachineConfig(n_nodes=n_nodes), protocol)
+    env = compile_source(src).run(m)
+    return env, m
+
+
+class TestSemantics:
+    def test_reduce_add(self):
+        src = """
+        aggregate V(float)[];
+        parallel fill(V v parallel) { v[#0] = #0 + 1.0; }
+        parallel store(V v parallel, float x) { v[#0] = x; }
+        main() {
+          V a(8);
+          V out(2);
+          fill(a);
+          let s = reduce_add(a);
+          store(out, s);
+        }
+        """
+        env, _ = run(src)
+        assert list(env.agg("out").data) == [36.0, 36.0]  # 1+..+8
+
+    def test_reduce_min_max(self):
+        src = """
+        aggregate V(float)[];
+        parallel fill(V v parallel) { v[#0] = (#0 - 2.0) * (#0 - 2.0); }
+        parallel store(V v parallel, float lo, float hi) {
+          v[#0] = hi - lo;
+        }
+        main() {
+          V a(6);
+          V out(2);
+          fill(a);
+          let lo = reduce_min(a);
+          let hi = reduce_max(a);
+          store(out, lo, hi);
+        }
+        """
+        env, _ = run(src)
+        # values: 4,1,0,1,4,9 -> max 9, min 0
+        assert list(env.agg("out").data) == [9.0, 9.0]
+
+    def test_reduction_in_convergence_loop(self):
+        """The canonical use: iterate until a residual reduction converges."""
+        src = """
+        aggregate V(float)[];
+        parallel halve(V v parallel) { v[#0] = v[#0] * 0.5; }
+        parallel fill(V v parallel) { v[#0] = 8.0; }
+        main() {
+          V a(4);
+          fill(a);
+          let steps = 0;
+          while (reduce_max(a) > 1.0) {
+            halve(a);
+            steps = steps + 1;
+          }
+        }
+        """
+        env, _ = run(src)
+        assert list(env.agg("a").data) == [1.0] * 4  # 8 -> 4 -> 2 -> 1
+
+    def test_reduction_runs_a_phase(self):
+        src = """
+        aggregate V(float)[];
+        parallel fill(V v parallel) { v[#0] = 1.0; }
+        main() {
+          V a(8);
+          fill(a);
+          let s = reduce_add(a);
+        }
+        """
+        env, m = run(src)
+        names = [p.phase_name for p in m.stats.phases]
+        assert any("reduce_add" in n for n in names)
+
+    def test_reduction_reads_are_home_local(self):
+        """Each owner reads its own elements: reductions cause no remote
+        misses when owners hold their data (aggregate large enough that
+        page-granularity homes align with ownership)."""
+        src = """
+        aggregate V(float)[];
+        parallel fill(V v parallel) { v[#0] = 2.0; }
+        main() {
+          V a(256);
+          fill(a);
+          let s = reduce_add(a);
+        }
+        """
+        m = make_machine(MachineConfig(n_nodes=4, page_size=512), "stache")
+        compile_source(src).run(m)
+        assert m.stats.misses == 0
+
+
+class TestChecks:
+    def test_reduce_rejected_in_parallel_function(self):
+        with pytest.raises(CompileError):
+            compile_source("""
+            aggregate V(float)[];
+            parallel f(V v parallel) { v[#0] = reduce_add(v); }
+            main() { V a(4); f(a); }
+            """)
+
+    def test_reduce_requires_aggregate(self):
+        with pytest.raises(CompileError):
+            compile_source("""
+            main() { let x = 3; let s = reduce_add(x); }
+            """)
+
+    def test_reduce_arity_checked(self):
+        with pytest.raises(CompileError):
+            compile_source("""
+            aggregate V(float)[];
+            main() { V a(4); V b(4); let s = reduce_add(a, b); }
+            """)
+
+    def test_reduce_rejected_in_call_args(self):
+        with pytest.raises(CompileError):
+            compile_source("""
+            aggregate V(float)[];
+            parallel f(V v parallel, float x) { v[#0] = x; }
+            main() { V a(4); f(a, reduce_add(a)); }
+            """)

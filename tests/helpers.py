@@ -1,0 +1,45 @@
+"""Shared test fixtures: small machines with owner-homed regions."""
+
+from __future__ import annotations
+
+from repro.core import make_machine
+from repro.tempest.machine import Machine, PhaseTrace
+from repro.tempest.tags import AccessTag
+from repro.util import MachineConfig
+
+
+def small_machine(
+    protocol: str = "stache",
+    n_nodes: int = 2,
+    block_size: int = 32,
+    home_node: int = 0,
+    n_pages: int = 4,
+    **cfg_kwargs,
+) -> tuple[Machine, int]:
+    """A machine with one region homed entirely on ``home_node``.
+
+    Returns (machine, first_block).  The home node's tags are initialized to
+    READ_WRITE for every block of the region, as at program start.
+    """
+    cfg = MachineConfig(n_nodes=n_nodes, block_size=block_size, **cfg_kwargs)
+    m = make_machine(cfg, protocol)
+    region = m.addr_space.allocate("data", n_pages * cfg.page_size,
+                                   home_policy=lambda p: home_node)
+    first = m.addr_space.block_of(region.base)
+    nblocks = region.size // cfg.block_size
+    for b in range(first, first + nblocks):
+        m.nodes[home_node].tags.set(b, AccessTag.READ_WRITE)
+    return m, first
+
+
+def idle_ops(n_nodes: int, busy: dict[int, list] | None = None) -> list[list]:
+    """Per-node op lists: empty except for the nodes in ``busy``."""
+    ops: list[list] = [[] for _ in range(n_nodes)]
+    if busy:
+        for node, node_ops in busy.items():
+            ops[node] = node_ops
+    return ops
+
+
+def run_one_phase(m: Machine, busy: dict[int, list], name: str = "phase") -> None:
+    m.run_phase(PhaseTrace(name, idle_ops(m.config.n_nodes, busy)))

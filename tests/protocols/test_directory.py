@@ -1,0 +1,82 @@
+"""Tests for directory entries and their invariants."""
+
+import pytest
+
+from repro.protocols import Directory, DirEntry, DirState
+from repro.util import ProtocolError
+
+
+class TestDirEntry:
+    def test_starts_idle(self):
+        e = DirEntry(block=1, home=0)
+        assert e.state == DirState.IDLE
+        e.check_invariants()
+
+    def test_idle_with_copies_is_invalid(self):
+        e = DirEntry(block=1, home=0, sharers={2})
+        with pytest.raises(ProtocolError):
+            e.check_invariants()
+
+    def test_shared_requires_sharers(self):
+        e = DirEntry(block=1, home=0, state=DirState.SHARED)
+        with pytest.raises(ProtocolError):
+            e.check_invariants()
+        e.sharers.add(1)
+        e.check_invariants()
+
+    def test_shared_cannot_have_owner(self):
+        e = DirEntry(block=1, home=0, state=DirState.SHARED, sharers={1}, owner=2)
+        with pytest.raises(ProtocolError):
+            e.check_invariants()
+
+    def test_home_not_its_own_sharer(self):
+        e = DirEntry(block=1, home=0, state=DirState.SHARED, sharers={0})
+        with pytest.raises(ProtocolError):
+            e.check_invariants()
+
+    def test_exclusive_requires_remote_owner(self):
+        e = DirEntry(block=1, home=0, state=DirState.EXCLUSIVE, owner=1)
+        e.check_invariants()
+        e.owner = None
+        with pytest.raises(ProtocolError):
+            e.check_invariants()
+
+    def test_exclusive_owner_not_home(self):
+        e = DirEntry(block=1, home=0, state=DirState.EXCLUSIVE, owner=0)
+        with pytest.raises(ProtocolError):
+            e.check_invariants()
+
+    def test_busy_requires_in_service(self):
+        e = DirEntry(block=1, home=0, state=DirState.BUSY_INV)
+        with pytest.raises(ProtocolError):
+            e.check_invariants()
+        e.in_service = 3
+        e.check_invariants()
+
+    def test_unknown_state_rejected(self):
+        e = DirEntry(block=1, home=0, state="BOGUS")
+        with pytest.raises(ProtocolError):
+            e.check_invariants()
+
+
+class TestDirectory:
+    def test_lazy_entry_creation(self):
+        d = Directory(home_of=lambda b: b % 4)
+        assert len(d) == 0
+        e = d.entry(7)
+        assert e.home == 3
+        assert len(d) == 1
+        assert d.entry(7) is e
+
+    def test_check_all(self):
+        d = Directory(home_of=lambda b: 0)
+        d.entry(1)
+        d.entry(2).state = DirState.SHARED  # malformed: no sharers
+        with pytest.raises(ProtocolError):
+            d.check_all()
+
+    def test_known_lists_entries(self):
+        d = Directory(home_of=lambda b: 0)
+        d.entry(1)
+        d.entry(5)
+        assert sorted(e.block for e in d.known()) == [1, 5]

@@ -1,0 +1,172 @@
+"""Transition-level unit tests of the Stache home-side FSM.
+
+The end-to-end tests drive whole traces; these call individual handlers on
+synthetic directory entries, documenting each transition's contract the way
+a Teapot specification reads.
+"""
+
+import pytest
+
+from repro.core import make_machine
+from repro.protocols.directory import DirEntry, DirState
+from repro.protocols.messages import MessageKind as MK
+from repro.tempest.network import Message
+from repro.tempest.tags import AccessTag
+from repro.util import MachineConfig, ProtocolError
+
+
+@pytest.fixture
+def setup():
+    """A 4-node machine with node 0 homing one block, via the protocol."""
+    m = make_machine(MachineConfig(n_nodes=4, page_size=512), "stache")
+    region = m.addr_space.allocate("x", 512, home_policy=lambda p: 0)
+    block = m.addr_space.block_of(region.base)
+    m.nodes[0].tags.set(block, AccessTag.READ_WRITE)
+    return m, m.protocol, block
+
+
+class FakeProc:
+    """Stands in for the requesting ReplayProcessor in unit-level tests."""
+
+    def __init__(self):
+        self.resumed_at = None
+
+    def resume(self, t):
+        self.resumed_at = t
+
+
+def expect_grant(proto, node, block, kind="r"):
+    """Register a synthetic outstanding fault so the granted DATA message
+    has a requester to complete."""
+    proc = FakeProc()
+    proto.outstanding[node] = (proc, block, kind)
+    return proc
+
+
+def drain(m):
+    m.engine.run()
+
+
+class TestIdle:
+    def test_get_ro_grants_and_downgrades_home(self, setup):
+        m, proto, b = setup
+        entry = proto.directory.entry(b)
+        proc = expect_grant(proto, 1, b)
+        proto.dispatch(entry, MK.GET_RO, Message(MK.GET_RO, 1, 0, block=b), 0.0)
+        drain(m)
+        assert entry.state == DirState.SHARED
+        assert entry.sharers == {1}
+        assert m.nodes[0].tags.get(b) is AccessTag.READ_ONLY
+        assert m.nodes[1].tags.get(b) is AccessTag.READ_ONLY
+        assert proc.resumed_at is not None
+
+    def test_get_rw_transfers_ownership(self, setup):
+        m, proto, b = setup
+        entry = proto.directory.entry(b)
+        expect_grant(proto, 2, b, "w")
+        proto.dispatch(entry, MK.GET_RW, Message(MK.GET_RW, 2, 0, block=b), 0.0)
+        drain(m)
+        assert entry.state == DirState.EXCLUSIVE
+        assert entry.owner == 2
+        assert m.nodes[0].tags.get(b) is AccessTag.INVALID
+        assert m.nodes[2].tags.get(b) is AccessTag.READ_WRITE
+
+
+class TestShared:
+    def shared_entry(self, setup, sharers):
+        m, proto, b = setup
+        entry = proto.directory.entry(b)
+        entry.state = DirState.SHARED
+        entry.sharers = set(sharers)
+        m.nodes[0].tags.set(b, AccessTag.READ_ONLY)
+        for s in sharers:
+            m.nodes[s].tags.set(b, AccessTag.READ_ONLY)
+        return m, proto, b, entry
+
+    def test_additional_reader_joins(self, setup):
+        m, proto, b, entry = self.shared_entry(setup, {1})
+        expect_grant(proto, 2, b)
+        proto.dispatch(entry, MK.GET_RO, Message(MK.GET_RO, 2, 0, block=b), 0.0)
+        drain(m)
+        assert entry.sharers == {1, 2}
+
+    def test_write_by_sole_sharer_upgrades_immediately(self, setup):
+        m, proto, b, entry = self.shared_entry(setup, {1})
+        expect_grant(proto, 1, b, "w")
+        proto.dispatch(entry, MK.GET_RW, Message(MK.GET_RW, 1, 0, block=b), 0.0)
+        drain(m)
+        assert entry.state == DirState.EXCLUSIVE
+        assert entry.owner == 1
+
+    def test_write_with_other_sharers_goes_busy(self, setup):
+        m, proto, b, entry = self.shared_entry(setup, {1, 2})
+        expect_grant(proto, 3, b, "w")
+        proto.dispatch(entry, MK.GET_RW, Message(MK.GET_RW, 3, 0, block=b), 0.0)
+        assert entry.state == DirState.BUSY_INV
+        assert entry.in_service == 3
+        assert entry.acks_needed == 2
+        drain(m)  # INVs delivered, ACKed, grant completes
+        assert entry.state == DirState.EXCLUSIVE
+        assert entry.owner == 3
+
+
+class TestBusy:
+    def test_requests_queue_while_busy(self, setup):
+        m, proto, b = setup
+        entry = proto.directory.entry(b)
+        entry.state = DirState.BUSY_INV
+        entry.in_service = 3
+        entry.acks_needed = 1
+        proto.dispatch(entry, MK.GET_RO, Message(MK.GET_RO, 2, 0, block=b), 0.0)
+        assert len(entry.pending) == 1
+        assert entry.pending[0].requester == 2
+
+    def test_unexpected_ack_rejected(self, setup):
+        m, proto, b = setup
+        entry = proto.directory.entry(b)
+        entry.state = DirState.BUSY_INV
+        entry.in_service = 3
+        entry.acks_needed = 0
+        with pytest.raises(ProtocolError):
+            proto.dispatch(entry, MK.ACK, Message(MK.ACK, 1, 0, block=b), 0.0)
+
+    def test_writeback_from_non_owner_rejected(self, setup):
+        m, proto, b = setup
+        entry = proto.directory.entry(b)
+        entry.state = DirState.BUSY_RECALL_RO
+        entry.owner = 2
+        entry.in_service = 1
+        with pytest.raises(ProtocolError):
+            proto.dispatch(entry, MK.WB_DATA, Message(MK.WB_DATA, 3, 0, block=b), 0.0)
+
+    def test_owner_refaulting_on_own_block_rejected(self, setup):
+        m, proto, b = setup
+        entry = proto.directory.entry(b)
+        entry.state = DirState.EXCLUSIVE
+        entry.owner = 2
+        with pytest.raises(ProtocolError):
+            proto.dispatch(entry, MK.GET_RO, Message(MK.GET_RO, 2, 0, block=b), 0.0)
+
+
+class TestInfrastructureErrors:
+    def test_data_without_outstanding_fault(self, setup):
+        m, proto, b = setup
+        with pytest.raises(ProtocolError):
+            proto.complete_fault(1, b, 0.0)
+
+    def test_wrong_block_completion(self, setup):
+        m, proto, b = setup
+        proto.outstanding[1] = (object(), b, "r")
+        with pytest.raises(ProtocolError):
+            proto.complete_fault(1, b + 1, 0.0)
+        proto.outstanding.clear()
+
+    def test_handle_extra_rejects_unknown_kind(self, setup):
+        m, proto, b = setup
+        with pytest.raises(ProtocolError):
+            proto.handle_extra(Message("BOGUS", 1, 0, block=b), 0.0)
+
+    def test_request_at_non_home_rejected(self, setup):
+        m, proto, b = setup
+        with pytest.raises(ProtocolError):
+            proto._handle(Message(MK.GET_RO, 2, 1, block=b), 0.0)

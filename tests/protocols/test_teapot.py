@@ -1,0 +1,111 @@
+"""Tests for the teapot state-machine framework."""
+
+import pytest
+
+from repro.protocols import ProtocolStateMachine, transition
+from repro.util import ProtocolError
+
+
+class Entry:
+    def __init__(self, state="A"):
+        self.state = state
+
+    def __repr__(self):
+        return f"<Entry {self.state}>"
+
+
+class Simple(ProtocolStateMachine):
+    def __init__(self):
+        self.log = []
+
+    @transition("A", "go")
+    def a_go(self, entry):
+        self.log.append("a_go")
+        entry.state = "B"
+
+    @transition(("A", "B"), "poke")
+    def any_poke(self, entry):
+        self.log.append("poke")
+
+    @transition("B", "go")
+    def b_go(self, entry):
+        self.log.append("b_go")
+        entry.state = "A"
+
+
+class Derived(Simple):
+    @transition("A", "go")  # override
+    def a_go2(self, entry):
+        self.log.append("a_go2")
+
+    @transition("B", "new")
+    def b_new(self, entry):
+        self.log.append("b_new")
+
+
+class TestDispatch:
+    def test_dispatches_by_state_and_event(self):
+        sm = Simple()
+        e = Entry("A")
+        sm.dispatch(e, "go")
+        assert sm.log == ["a_go"]
+        assert e.state == "B"
+        sm.dispatch(e, "go")
+        assert e.state == "A"
+
+    def test_multi_state_declaration(self):
+        sm = Simple()
+        sm.dispatch(Entry("A"), "poke")
+        sm.dispatch(Entry("B"), "poke")
+        assert sm.log == ["poke", "poke"]
+
+    def test_missing_transition_raises(self):
+        sm = Simple()
+        with pytest.raises(ProtocolError) as ei:
+            sm.dispatch(Entry("B"), "nonsense")
+        assert "no transition" in str(ei.value)
+
+    def test_dispatch_returns_handler_result(self):
+        class R(ProtocolStateMachine):
+            @transition("A", "q")
+            def q(self, entry):
+                return 42
+
+        assert R().dispatch(Entry("A"), "q") == 42
+
+    def test_extra_args_forwarded(self):
+        class Args(ProtocolStateMachine):
+            @transition("A", "msg")
+            def msg(self, entry, payload, t):
+                return (payload, t)
+
+        assert Args().dispatch(Entry("A"), "msg", "data", t=5.0) == ("data", 5.0)
+
+
+class TestInheritance:
+    def test_subclass_inherits_parent_table(self):
+        sm = Derived()
+        sm.dispatch(Entry("B"), "go")
+        assert sm.log == ["b_go"]
+
+    def test_subclass_overrides_transition(self):
+        sm = Derived()
+        e = Entry("A")
+        sm.dispatch(e, "go")
+        assert sm.log == ["a_go2"]
+        assert e.state == "A"  # override does not change state
+
+    def test_subclass_adds_transition(self):
+        sm = Derived()
+        sm.dispatch(Entry("B"), "new")
+        assert sm.log == ["b_new"]
+
+    def test_parent_table_unpolluted(self):
+        assert not Simple().has_transition("B", "new")
+        assert Derived().has_transition("B", "new")
+
+    def test_transitions_introspection(self):
+        table = Simple.transitions()
+        assert table[("A", "go")] == "a_go"
+        assert table[("B", "go")] == "b_go"
+        assert ("A", "poke") in table

@@ -1,0 +1,75 @@
+"""Tests for the static protocol audit — and the shipped protocols' audits."""
+
+import pytest
+
+from repro.core.predictive import PredictiveProtocol
+from repro.protocols.directory import DirState
+from repro.protocols.messages import MessageKind as MK
+from repro.protocols.stache import StacheProtocol
+from repro.protocols.teapot import ProtocolStateMachine, transition
+from repro.protocols.verify import STACHE_HOME_SPEC, audit_protocol
+from repro.protocols.writeupdate import UPDATE_SHARED, WriteUpdateProtocol
+
+
+class TestShippedProtocols:
+    def test_stache_is_hole_free(self):
+        result = audit_protocol(StacheProtocol, STACHE_HOME_SPEC)
+        assert result.ok, result.report()
+
+    def test_stache_has_no_dead_transitions(self):
+        result = audit_protocol(StacheProtocol, STACHE_HOME_SPEC)
+        assert result.dead == [], result.report()
+
+    def test_predictive_inherits_full_coverage(self):
+        result = audit_protocol(PredictiveProtocol, STACHE_HOME_SPEC)
+        assert result.ok, result.report()
+
+    def test_write_update_covers_its_states(self):
+        spec = {
+            DirState.IDLE: {MK.GET_RO, MK.GET_RW},
+            UPDATE_SHARED: {MK.GET_RO, MK.GET_RW},
+        }
+        result = audit_protocol(WriteUpdateProtocol, spec)
+        assert result.ok, result.report()
+
+    def test_report_renders(self):
+        result = audit_protocol(StacheProtocol, STACHE_HOME_SPEC)
+        text = result.report()
+        assert "no holes" in text
+        assert "StacheProtocol" in text
+
+
+class TestAuditMechanics:
+    def make_incomplete(self):
+        class Incomplete(ProtocolStateMachine):
+            @transition("A", "x")
+            def ax(self, entry):
+                pass
+
+            @transition("B", "zombie")
+            def bz(self, entry):
+                pass
+
+        return Incomplete
+
+    def test_detects_holes(self):
+        result = audit_protocol(self.make_incomplete(), {"A": {"x", "y"}})
+        assert ("A", "y") in result.holes
+        assert not result.ok
+
+    def test_detects_dead_transitions(self):
+        result = audit_protocol(self.make_incomplete(),
+                                {"A": {"x"}, "B": {"other"}})
+        assert ("B", "zombie") in result.dead
+
+    def test_extra_states_merge(self):
+        result = audit_protocol(
+            self.make_incomplete(), {"A": {"x"}},
+            extra_states={"B": {"zombie"}},
+        )
+        assert result.ok
+        assert ("B", "zombie") in result.covered
+
+    def test_holes_appear_in_report(self):
+        result = audit_protocol(self.make_incomplete(), {"A": {"x", "y"}})
+        assert "HOLES" in result.report()

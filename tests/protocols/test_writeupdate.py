@@ -1,0 +1,94 @@
+"""Unit tests for the write-update protocol (the SPMD baseline's custom
+protocol)."""
+
+import pytest
+
+from repro.protocols.writeupdate import UPDATE_SHARED
+from repro.tempest.machine import PhaseTrace
+from repro.tempest.tags import AccessTag
+from repro.util import ProtocolError
+
+from tests.helpers import run_one_phase, small_machine
+
+
+class TestRegistration:
+    def test_first_read_registers_consumer(self):
+        m, b = small_machine("write-update", n_nodes=3)
+        run_one_phase(m, {1: [("r", b)]})
+        entry = m.protocol.directory.entry(b)
+        assert entry.state == UPDATE_SHARED
+        assert entry.sharers == {1}
+        assert m.nodes[1].tags.get(b) is AccessTag.READ_ONLY
+
+    def test_home_keeps_writable_tag(self):
+        m, b = small_machine("write-update", n_nodes=2)
+        run_one_phase(m, {1: [("r", b)]})
+        assert m.nodes[0].tags.get(b) is AccessTag.READ_WRITE
+
+    def test_multiple_consumers(self):
+        m, b = small_machine("write-update", n_nodes=4)
+        run_one_phase(m, {1: [("r", b)], 2: [("r", b)], 3: [("r", b)]})
+        assert m.protocol.directory.entry(b).sharers == {1, 2, 3}
+
+
+class TestUpdatePush:
+    def test_producer_write_does_not_invalidate(self):
+        m, b = small_machine("write-update", n_nodes=2)
+        run_one_phase(m, {1: [("r", b)]})
+        run_one_phase(m, {0: [("w", b)]})
+        # consumer still has a readable copy (updated, not invalidated)
+        assert m.nodes[1].tags.get(b) is AccessTag.READ_ONLY
+        run_one_phase(m, {1: [("r", b)]})
+        assert m.nodes[1].stats.read_misses == 1  # only the first read missed
+
+    def test_updates_counted(self):
+        m, b = small_machine("write-update", n_nodes=3)
+        run_one_phase(m, {1: [("r", b)], 2: [("r", b)]})
+        run_one_phase(m, {0: [("w", b)]})
+        assert m.protocol.updates_pushed == 2  # one copy to each consumer
+        assert m.protocol.update_messages == 2
+
+    def test_no_push_without_consumers(self):
+        m, b = small_machine("write-update", n_nodes=2)
+        run_one_phase(m, {0: [("w", b)]})
+        assert m.protocol.updates_pushed == 0
+
+    def test_push_extends_barrier(self):
+        m, b = small_machine("write-update", n_nodes=2)
+        run_one_phase(m, {1: [("r", b)]})
+        t0 = m.clock
+        run_one_phase(m, {0: [("w", b)]})
+        dt_with_push = m.clock - t0
+        # same write with no consumers registered is cheaper
+        m2, b2 = small_machine("write-update", n_nodes=2)
+        t0 = m2.clock
+        run_one_phase(m2, {0: [("w", b2)]})
+        assert dt_with_push > m2.clock - t0
+
+    def test_per_block_messages_by_default(self):
+        """Coalescing bulk messages is the predictive protocol's trick;
+        the baseline sends one message per block."""
+        m, b = small_machine("write-update", n_nodes=2)
+        run_one_phase(m, {1: [("r", b), ("r", b + 1), ("r", b + 2)]})
+        before = m.protocol.update_messages
+        run_one_phase(m, {0: [("w", b), ("w", b + 1), ("w", b + 2)]})
+        assert m.protocol.update_messages - before == 3
+
+    def test_conservation(self):
+        m, b = small_machine("write-update", n_nodes=3)
+        run_one_phase(m, {1: [("r", b)], 2: [("r", b + 1)]})
+        run_one_phase(m, {0: [("w", b), ("w", b + 1)]})
+        m.finish().check_conservation()
+
+
+class TestConstraints:
+    def test_remote_write_rejected(self):
+        m, b = small_machine("write-update", n_nodes=2)
+        with pytest.raises(ProtocolError) as ei:
+            run_one_phase(m, {1: [("w", b)]})
+        assert "producer-owned" in str(ei.value)
+
+    def test_home_read_never_faults(self):
+        m, b = small_machine("write-update", n_nodes=2)
+        run_one_phase(m, {0: [("r", b), ("w", b)]})
+        assert m.stats.misses == 0

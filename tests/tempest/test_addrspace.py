@@ -1,0 +1,103 @@
+"""Tests for the global address space, block math, and home policies."""
+
+import pytest
+
+from repro.tempest.addrspace import AddressSpace, block_partition, round_robin_pages
+from repro.util import ConfigError, MachineConfig, SimulationError
+
+
+@pytest.fixture
+def space():
+    return AddressSpace(MachineConfig(n_nodes=4, block_size=32, page_size=4096))
+
+
+class TestAllocation:
+    def test_regions_page_aligned(self, space):
+        r1 = space.allocate("a", 100)
+        r2 = space.allocate("b", 5000)
+        assert r1.base % 4096 == 0
+        assert r1.size == 4096
+        assert r2.size == 8192
+        assert r2.base == r1.end
+
+    def test_address_zero_reserved(self, space):
+        r = space.allocate("a", 10)
+        assert r.base >= 4096
+
+    def test_duplicate_name_rejected(self, space):
+        space.allocate("a", 10)
+        with pytest.raises(ConfigError):
+            space.allocate("a", 10)
+
+    def test_non_positive_size_rejected(self, space):
+        with pytest.raises(ConfigError):
+            space.allocate("a", 0)
+
+    def test_lookup_by_name(self, space):
+        r = space.allocate("grid", 128)
+        assert space.region("grid") is r
+
+    def test_find_region(self, space):
+        r = space.allocate("a", 4096)
+        assert space.find_region(r.base) is r
+        assert space.find_region(r.end - 1) is r
+        with pytest.raises(SimulationError):
+            space.find_region(r.end)
+
+
+class TestBlockMath:
+    def test_block_of(self, space):
+        assert space.block_of(0) == 0
+        assert space.block_of(31) == 0
+        assert space.block_of(32) == 1
+
+    def test_block_addr_roundtrip(self, space):
+        for b in [0, 1, 1000]:
+            assert space.block_of(space.block_addr(b)) == b
+
+    def test_blocks_of_range_single(self, space):
+        assert list(space.blocks_of_range(0, 8)) == [0]
+
+    def test_blocks_of_range_straddles(self, space):
+        # 24 bytes starting at offset 20 crosses the 32-byte boundary
+        assert list(space.blocks_of_range(20, 24)) == [0, 1]
+
+    def test_blocks_of_range_exact_block(self, space):
+        assert list(space.blocks_of_range(32, 32)) == [1]
+
+    def test_blocks_of_range_empty_rejected(self, space):
+        with pytest.raises(SimulationError):
+            space.blocks_of_range(0, 0)
+
+
+class TestHomePolicies:
+    def test_round_robin(self):
+        policy = round_robin_pages(4)
+        assert [policy(p) for p in range(6)] == [0, 1, 2, 3, 0, 1]
+
+    def test_block_partition_covers_all_nodes(self):
+        policy = block_partition(n_pages=8, n_nodes=4)
+        homes = [policy(p) for p in range(8)]
+        assert homes == [0, 0, 1, 1, 2, 2, 3, 3]
+
+    def test_block_partition_clamps(self):
+        policy = block_partition(n_pages=3, n_nodes=4)
+        assert policy(10) == 3  # out-of-range pages clamp to the last node
+
+    def test_home_of_block_uses_region_policy(self, space):
+        r = space.allocate("a", 4 * 4096, home_policy=lambda p: p % 4)
+        b0 = space.block_of(r.base)
+        blocks_per_page = 4096 // 32
+        assert space.home_of_block(b0) == 0
+        assert space.home_of_block(b0 + blocks_per_page) == 1
+
+    def test_home_cached_consistently(self, space):
+        r = space.allocate("a", 4096, home_policy=lambda p: 2)
+        b = space.block_of(r.base)
+        assert space.home_of_block(b) == 2
+        assert space.home_of_block(b) == 2
+
+    def test_bad_home_rejected(self, space):
+        r = space.allocate("a", 4096, home_policy=lambda p: 99)
+        with pytest.raises(ConfigError):
+            space.home_of_block(space.block_of(r.base))

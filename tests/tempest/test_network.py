@@ -1,0 +1,94 @@
+"""Tests for the network model: latency, bandwidth, bulk costs, delivery."""
+
+import pytest
+
+from repro.sim import Engine
+from repro.tempest import Message, Network
+from repro.util import MachineConfig, SimulationError
+
+
+@pytest.fixture
+def net():
+    eng = Engine()
+    cfg = MachineConfig(n_nodes=4, msg_latency=100, per_byte_cost=0.5, bulk_msg_overhead=40)
+    n = Network(eng, cfg)
+    delivered = []
+    n.attach(lambda msg, t: delivered.append((msg, t)))
+    return eng, n, delivered
+
+
+class TestFlightTime:
+    def test_control_message(self, net):
+        _, n, _ = net
+        assert n.flight_time(Message("GET_RO", 0, 1)) == 100
+
+    def test_payload_adds_bandwidth_term(self, net):
+        _, n, _ = net
+        assert n.flight_time(Message("DATA_RO", 0, 1, payload_bytes=32)) == 116
+
+    def test_bulk_adds_startup(self, net):
+        _, n, _ = net
+        msg = Message("PRESEND_RO", 0, 1, payload_bytes=64, bulk=True)
+        assert n.flight_time(msg) == 100 + 32 + 40
+
+
+class TestDelivery:
+    def test_delivers_at_flight_time(self, net):
+        eng, n, delivered = net
+        n.send(Message("GET_RO", 0, 1), at=50.0)
+        eng.run()
+        assert len(delivered) == 1
+        msg, t = delivered[0]
+        assert t == 150.0
+        assert msg.send_time == 50.0
+
+    def test_future_send_allowed(self, net):
+        eng, n, delivered = net
+        # processors run ahead of the event clock; sends from the future are OK
+        n.send(Message("GET_RO", 0, 1), at=1e6)
+        eng.run()
+        assert delivered[0][1] == 1e6 + 100
+
+    def test_counts_traffic(self, net):
+        eng, n, _ = net
+        n.send(Message("DATA_RO", 0, 1, payload_bytes=32), at=0.0)
+        n.send(Message("GET_RO", 1, 0), at=0.0)
+        eng.run()
+        assert n.messages_delivered == 2
+        assert n.bytes_delivered == 32
+
+    def test_self_send_rejected(self, net):
+        _, n, _ = net
+        with pytest.raises(SimulationError):
+            n.send(Message("GET_RO", 2, 2), at=0.0)
+
+    def test_bad_endpoint_rejected(self, net):
+        _, n, _ = net
+        with pytest.raises(SimulationError):
+            n.send(Message("GET_RO", 0, 9), at=0.0)
+
+    def test_unattached_network_rejects(self):
+        n = Network(Engine(), MachineConfig())
+        with pytest.raises(SimulationError):
+            n.send(Message("GET_RO", 0, 1), at=0.0)
+
+    def test_fifo_per_timestamp(self, net):
+        eng, n, delivered = net
+        for i in range(5):
+            m = Message("GET_RO", 0, 1)
+            m.info["i"] = i
+            n.send(m, at=0.0)
+        eng.run()
+        assert [m.info["i"] for m, _ in delivered] == list(range(5))
+
+
+class TestNodeOccupancy:
+    def test_handler_fifo(self):
+        from repro.tempest import Node
+
+        node = Node(3)
+        assert node.service_handler(arrival=100.0, cost=50.0) == 150.0
+        # second message arrives while busy: queued behind
+        assert node.service_handler(arrival=120.0, cost=50.0) == 200.0
+        # idle gap: starts at arrival
+        assert node.service_handler(arrival=500.0, cost=10.0) == 510.0

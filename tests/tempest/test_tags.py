@@ -1,0 +1,75 @@
+"""Tests for fine-grain access-control tags."""
+
+import pytest
+
+from repro.tempest import AccessTag, TagTable
+from repro.util import SimulationError
+
+
+class TestAccessTag:
+    def test_invalid_permits_nothing(self):
+        assert not AccessTag.INVALID.permits("r")
+        assert not AccessTag.INVALID.permits("w")
+
+    def test_read_only_permits_reads(self):
+        assert AccessTag.READ_ONLY.permits("r")
+        assert not AccessTag.READ_ONLY.permits("w")
+
+    def test_read_write_permits_both(self):
+        assert AccessTag.READ_WRITE.permits("r")
+        assert AccessTag.READ_WRITE.permits("w")
+
+    def test_unknown_kind(self):
+        with pytest.raises(SimulationError):
+            AccessTag.READ_WRITE.permits("x")
+
+
+class TestTagTable:
+    def test_default_invalid(self):
+        t = TagTable(0)
+        assert t.get(42) is AccessTag.INVALID
+        assert not t.permits(42, "r")
+
+    def test_set_get(self):
+        t = TagTable(0)
+        t.set(1, AccessTag.READ_ONLY)
+        assert t.get(1) is AccessTag.READ_ONLY
+        assert t.permits(1, "r")
+        assert not t.permits(1, "w")
+
+    def test_set_invalid_removes(self):
+        t = TagTable(0)
+        t.set(1, AccessTag.READ_WRITE)
+        t.set(1, AccessTag.INVALID)
+        assert len(t) == 0
+
+    def test_downgrade_only_affects_rw(self):
+        t = TagTable(0)
+        t.set(1, AccessTag.READ_WRITE)
+        t.set(2, AccessTag.READ_ONLY)
+        t.downgrade(1)
+        t.downgrade(2)
+        t.downgrade(3)  # absent: no-op
+        assert t.get(1) is AccessTag.READ_ONLY
+        assert t.get(2) is AccessTag.READ_ONLY
+        assert t.get(3) is AccessTag.INVALID
+
+    def test_invalidate(self):
+        t = TagTable(0)
+        t.set(1, AccessTag.READ_WRITE)
+        t.invalidate(1)
+        t.invalidate(99)  # idempotent on absent blocks
+        assert t.get(1) is AccessTag.INVALID
+
+    def test_blocks_with_tag(self):
+        t = TagTable(0)
+        t.set(1, AccessTag.READ_ONLY)
+        t.set(2, AccessTag.READ_WRITE)
+        t.set(3, AccessTag.READ_ONLY)
+        assert sorted(t.blocks_with_tag(AccessTag.READ_ONLY)) == [1, 3]
+
+    def test_clear(self):
+        t = TagTable(0)
+        t.set(1, AccessTag.READ_ONLY)
+        t.clear()
+        assert len(t) == 0

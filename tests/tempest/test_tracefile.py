@@ -1,0 +1,105 @@
+"""Tests for session recording, persistence, and cross-protocol replay."""
+
+import pytest
+
+from repro.core import make_machine
+from repro.tempest.machine import PhaseTrace
+from repro.tempest.tracefile import (
+    load_session,
+    record_regions,
+    replay_session,
+    restore_regions,
+    save_session,
+)
+from repro.util import MachineConfig, SimulationError
+
+from tests.helpers import small_machine
+
+
+def record_water(n_nodes=4):
+    """Run Water once with a recorder attached; return (events, regions)."""
+    from repro.apps import water
+
+    prog = water.build(n=16, iterations=2)
+    m = make_machine(MachineConfig(n_nodes=n_nodes, page_size=512), "stache")
+    m.recorder = events = []
+    prog.run(m, optimized=True)
+    return events, record_regions(m), m.finish()
+
+
+class TestRecording:
+    def test_recorder_captures_events(self):
+        events, _, _ = record_water()
+        kinds = [e[0] for e in events]
+        assert "phase" in kinds
+        assert "begin_group" in kinds
+        assert "end_group" in kinds
+        # groups are balanced
+        assert kinds.count("begin_group") == kinds.count("end_group")
+
+    def test_recorder_off_by_default(self):
+        m, b = small_machine()
+        assert m.recorder is None
+
+
+class TestRoundTrip:
+    def test_save_load_round_trip(self, tmp_path):
+        events, regions, _ = record_water()
+        path = tmp_path / "session.trace"
+        save_session(events, path, regions)
+        loaded_events, loaded_regions = load_session(path)
+        assert len(loaded_events) == len(events)
+        assert loaded_regions == regions
+        for orig, loaded in zip(events, loaded_events):
+            assert orig[0] == loaded[0]
+            if orig[0] == "phase":
+                assert loaded[1].ops == [
+                    [tuple(op) for op in ops] for ops in orig[1].ops
+                ]
+
+    def test_bad_version_rejected(self, tmp_path):
+        path = tmp_path / "bad.trace"
+        path.write_text('{"version": 99}\n')
+        with pytest.raises(SimulationError):
+            load_session(path)
+
+
+class TestReplay:
+    def test_replay_reproduces_original_run(self, tmp_path):
+        events, regions, original = record_water()
+        path = tmp_path / "session.trace"
+        save_session(events, path, regions)
+        m = make_machine(MachineConfig(n_nodes=4, page_size=512), "stache")
+        stats = replay_session(load_session(path), m)
+        assert stats.wall_time == original.wall_time
+        assert stats.misses == original.misses
+
+    def test_replay_under_different_protocol(self, tmp_path):
+        """One value pass, many protocols: the point of the facility."""
+        events, regions, baseline = record_water()
+        path = tmp_path / "session.trace"
+        save_session(events, path, regions)
+        session = load_session(path)
+
+        m_pred = make_machine(MachineConfig(n_nodes=4, page_size=512),
+                              "predictive")
+        pred = replay_session(session, m_pred)
+        assert pred.misses < baseline.misses
+        assert pred.wall_time != baseline.wall_time
+        pred.check_conservation()
+
+    def test_replay_node_count_mismatch(self):
+        events, regions, _ = record_water(n_nodes=4)
+        m = make_machine(MachineConfig(n_nodes=8, page_size=512), "stache")
+        with pytest.raises(SimulationError):
+            replay_session((events, regions), m)
+
+    def test_restore_regions_sets_home_tags(self):
+        cfg = MachineConfig(n_nodes=2, page_size=512)
+        m = make_machine(cfg, "stache")
+        restore_regions(m, [{"name": "x", "size": 1024, "homes": [0, 1]}])
+        region = m.addr_space.region("x")
+        first = m.addr_space.block_of(region.base)
+        assert m.nodes[0].tags.permits(first, "w")
+        blocks_per_page = 512 // 32
+        assert m.nodes[1].tags.permits(first + blocks_per_page, "w")

@@ -1,0 +1,97 @@
+"""Tests for the command-line interface."""
+
+import pathlib
+
+import pytest
+
+from repro.cli import build_parser, main
+
+JACOBI = pathlib.Path(__file__).parent.parent / "examples/programs/jacobi.cstar"
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_unknown_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["frobnicate"])
+
+    def test_run_defaults(self):
+        args = build_parser().parse_args(["run", "x.cstar"])
+        assert args.protocol == "predictive"
+        assert args.nodes == 8
+        assert not args.unoptimized
+
+
+class TestCompile(object):
+    def test_compile_example(self, capsys):
+        assert main(["compile", str(JACOBI)]) == 0
+        out = capsys.readouterr().out
+        assert "sweep" in out
+        assert "phase group" in out
+
+    def test_compile_verbose_shows_reaching(self, capsys):
+        assert main(["compile", str(JACOBI), "-v"]) == 0
+        out = capsys.readouterr().out
+        assert "reaching unstructured accesses" in out
+        assert "[needs schedule]" in out
+
+    def test_compile_missing_file(self, capsys):
+        assert main(["compile", "/nonexistent.cstar"]) == 1
+        assert "error" in capsys.readouterr().err
+
+    def test_compile_bad_source(self, tmp_path, capsys):
+        bad = tmp_path / "bad.cstar"
+        bad.write_text("main() { let x = ; }")
+        assert main(["compile", str(bad)]) == 1
+        assert "error" in capsys.readouterr().err
+
+
+class TestRun:
+    def test_run_example(self, capsys):
+        assert main(["run", str(JACOBI), "--nodes", "4"]) == 0
+        out = capsys.readouterr().out
+        assert "wall time" in out
+        assert "hit rate" in out
+
+    def test_run_unoptimized(self, capsys):
+        assert main(["run", str(JACOBI), "--nodes", "4", "--unoptimized",
+                     "--protocol", "stache"]) == 0
+        out = capsys.readouterr().out
+        assert "optimized=False" in out
+
+    def test_run_block_size(self, capsys):
+        assert main(["run", str(JACOBI), "--nodes", "4",
+                     "--block-size", "128"]) == 0
+        assert "block=128B" in capsys.readouterr().out
+
+
+class TestOtherCommands:
+    def test_audit(self, capsys):
+        assert main(["audit"]) == 0
+        out = capsys.readouterr().out
+        assert "StacheProtocol" in out
+        assert "no holes" in out
+
+    def test_figure_table1(self, capsys):
+        assert main(["figure", "table1"]) == 0
+        assert "Adaptive" in capsys.readouterr().out
+
+    def test_figure_rejects_unknown(self):
+        with pytest.raises(SystemExit):
+            main(["figure", "fig99"])
+
+
+class TestDumpAst:
+    def test_dump_ast_round_trips(self, capsys, tmp_path):
+        assert main(["compile", str(JACOBI), "--dump-ast"]) == 0
+        out = capsys.readouterr().out
+        ast_text = out.split("// --- analysis ---")[0]
+        # the dumped AST is itself valid C** and compiles to the same analysis
+        f = tmp_path / "roundtrip.cstar"
+        f.write_text(ast_text)
+        assert main(["compile", str(f)]) == 0
+        out2 = capsys.readouterr().out
+        assert "2 phase group(s) placed" in out2

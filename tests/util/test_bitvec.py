@@ -1,0 +1,134 @@
+"""Unit + property tests for the data-flow bit vector."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.util import BitVector
+
+
+class TestBasics:
+    def test_starts_empty(self):
+        v = BitVector(8)
+        assert not v
+        assert v.count() == 0
+        assert list(v.indices()) == []
+
+    def test_set_test_clear(self):
+        v = BitVector(8)
+        v.set(3)
+        assert v.test(3)
+        assert v[3]
+        assert not v[2]
+        v.clear(3)
+        assert not v.test(3)
+
+    def test_out_of_range(self):
+        v = BitVector(4)
+        with pytest.raises(IndexError):
+            v.set(4)
+        with pytest.raises(IndexError):
+            v.test(-1)
+
+    def test_full(self):
+        v = BitVector.full(5)
+        assert v.count() == 5
+        assert list(v.indices()) == [0, 1, 2, 3, 4]
+
+    def test_from_indices(self):
+        v = BitVector.from_indices(10, [1, 5, 5, 9])
+        assert list(v.indices()) == [1, 5, 9]
+
+    def test_zero_width(self):
+        v = BitVector(0)
+        assert len(v) == 0
+        assert not v
+
+    def test_rejects_bits_exceeding_width(self):
+        with pytest.raises(ValueError):
+            BitVector(2, 0b100)
+
+    def test_iter_yields_bools_lsb_first(self):
+        v = BitVector.from_indices(4, [0, 2])
+        assert list(v) == [True, False, True, False]
+
+
+class TestSetOps:
+    def test_union(self):
+        a = BitVector.from_indices(8, [1, 2])
+        b = BitVector.from_indices(8, [2, 3])
+        assert list((a | b).indices()) == [1, 2, 3]
+
+    def test_intersection(self):
+        a = BitVector.from_indices(8, [1, 2])
+        b = BitVector.from_indices(8, [2, 3])
+        assert list((a & b).indices()) == [2]
+
+    def test_difference(self):
+        a = BitVector.from_indices(8, [1, 2])
+        b = BitVector.from_indices(8, [2, 3])
+        assert list((a - b).indices()) == [1]
+
+    def test_inplace_union(self):
+        a = BitVector.from_indices(8, [1])
+        a |= BitVector.from_indices(8, [2])
+        assert list(a.indices()) == [1, 2]
+
+    def test_width_mismatch_raises(self):
+        with pytest.raises(ValueError):
+            BitVector(4) | BitVector(5)
+
+    def test_copy_is_independent(self):
+        a = BitVector.from_indices(8, [1])
+        b = a.copy()
+        b.set(2)
+        assert not a.test(2)
+
+    def test_equality_and_hash(self):
+        a = BitVector.from_indices(8, [1, 2])
+        b = BitVector.from_indices(8, [2, 1])
+        assert a == b
+        assert hash(a) == hash(b)
+        assert a != BitVector.from_indices(8, [1])
+        assert a != BitVector.from_indices(9, [1, 2])
+
+    def test_subset(self):
+        a = BitVector.from_indices(8, [1])
+        b = BitVector.from_indices(8, [1, 2])
+        assert a.is_subset(b)
+        assert not b.is_subset(a)
+
+
+idx_sets = st.sets(st.integers(min_value=0, max_value=63))
+
+
+class TestProperties:
+    @given(idx_sets, idx_sets)
+    def test_union_matches_set_semantics(self, xs, ys):
+        a = BitVector.from_indices(64, xs)
+        b = BitVector.from_indices(64, ys)
+        assert set((a | b).indices()) == xs | ys
+
+    @given(idx_sets, idx_sets)
+    def test_intersection_matches_set_semantics(self, xs, ys):
+        a = BitVector.from_indices(64, xs)
+        b = BitVector.from_indices(64, ys)
+        assert set((a & b).indices()) == xs & ys
+
+    @given(idx_sets, idx_sets)
+    def test_difference_matches_set_semantics(self, xs, ys):
+        a = BitVector.from_indices(64, xs)
+        b = BitVector.from_indices(64, ys)
+        assert set((a - b).indices()) == xs - ys
+
+    @given(idx_sets)
+    def test_count_matches_cardinality(self, xs):
+        assert BitVector.from_indices(64, xs).count() == len(xs)
+
+    @given(idx_sets, idx_sets)
+    def test_union_is_monotone(self, xs, ys):
+        """The data-flow join only grows — fixpoint termination relies on it."""
+        a = BitVector.from_indices(64, xs)
+        b = BitVector.from_indices(64, ys)
+        assert a.is_subset(a | b)
+        assert b.is_subset(a | b)

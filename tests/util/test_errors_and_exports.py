@@ -1,0 +1,73 @@
+"""Tests for the error hierarchy and the public package surface."""
+
+import pytest
+
+import repro
+from repro.util import (
+    CompileError,
+    ConfigError,
+    ProtocolError,
+    ReproError,
+    SimulationError,
+)
+
+
+class TestErrorHierarchy:
+    @pytest.mark.parametrize(
+        "exc", [ConfigError, ProtocolError, SimulationError, CompileError]
+    )
+    def test_all_derive_from_repro_error(self, exc):
+        assert issubclass(exc, ReproError)
+
+    def test_one_catch_at_the_boundary(self):
+        with pytest.raises(ReproError):
+            raise ProtocolError("boom")
+
+    def test_compile_error_location_formatting(self):
+        e = CompileError("bad token", line=3, col=7)
+        assert "line 3" in str(e)
+        assert "col 7" in str(e)
+        assert e.line == 3 and e.col == 7
+
+    def test_compile_error_line_only(self):
+        e = CompileError("oops", line=9)
+        assert "line 9" in str(e)
+        assert "col" not in str(e)
+
+    def test_compile_error_no_location(self):
+        e = CompileError("plain")
+        assert str(e) == "plain"
+        assert e.line is None
+
+
+class TestPackageSurface:
+    def test_version(self):
+        assert repro.__version__
+
+    def test_top_level_exports(self):
+        for name in repro.__all__:
+            assert hasattr(repro, name), name
+
+    def test_subpackage_exports(self):
+        import repro.core as core
+        import repro.cstar as cstar
+        import repro.protocols as protocols
+        import repro.sim as sim
+        import repro.tempest as tempest
+        import repro.util as util
+
+        for mod in (core, cstar, protocols, sim, tempest, util):
+            for name in mod.__all__:
+                assert hasattr(mod, name), f"{mod.__name__}.{name}"
+
+    def test_make_machine_registry_complete(self):
+        from repro.core import PROTOCOLS
+
+        assert set(PROTOCOLS) == {"stache", "predictive", "write-update"}
+
+    def test_unknown_protocol_rejected(self):
+        from repro.core import make_machine
+        from repro.util import ConfigError, MachineConfig
+
+        with pytest.raises(ConfigError):
+            make_machine(MachineConfig(), "mesi")

@@ -1,0 +1,57 @@
+"""Tests for ASCII table / bar-chart rendering used by the bench harness."""
+
+import pytest
+
+from repro.util import format_bar_chart, format_table
+
+
+class TestFormatTable:
+    def test_basic_alignment(self):
+        out = format_table(["name", "value"], [["a", 1.5], ["bb", 20.25]])
+        lines = out.splitlines()
+        assert lines[0].startswith("name")
+        assert "1.500" in out
+        assert "20.250" in out
+
+    def test_title(self):
+        out = format_table(["x"], [["y"]], title="Table 1")
+        assert out.splitlines()[0] == "Table 1"
+
+    def test_row_width_mismatch(self):
+        with pytest.raises(ValueError):
+            format_table(["a", "b"], [["only-one"]])
+
+    def test_numbers_right_aligned(self):
+        out = format_table(["n"], [[1.0], [100.0]])
+        rows = out.splitlines()[-2:]
+        assert rows[0].endswith("1.000")
+        assert rows[1].endswith("100.000")
+
+    def test_floatfmt(self):
+        out = format_table(["n"], [[1.23456]], floatfmt=".1f")
+        assert "1.2" in out and "1.234" not in out
+
+
+class TestBarChart:
+    def test_empty(self):
+        assert format_bar_chart([]) == "(no data)"
+
+    def test_relative_totals(self):
+        bars = [
+            ("fast", {"a": 50.0, "b": 50.0}),
+            ("slow", {"a": 150.0, "b": 50.0}),
+        ]
+        out = format_bar_chart(bars)
+        assert " 1.00x" in out
+        assert " 2.00x" in out
+
+    def test_legend_lists_categories(self):
+        out = format_bar_chart([("x", {"Remote data wait": 1.0, "Compute+Synch": 2.0})])
+        assert "Remote data wait" in out
+        assert "Compute+Synch" in out
+
+    def test_longest_bar_spans_width(self):
+        bars = [("a", {"c": 10.0}), ("b", {"c": 20.0})]
+        out = format_bar_chart(bars, width=40)
+        bar_line = [l for l in out.splitlines() if l.startswith("b ")][0]
+        assert "#" * 40 in bar_line
