@@ -19,6 +19,13 @@ Commands
 
 ``audit``
     Statically audit the shipped protocols' transition tables.
+
+``verify [--seeds N] [--replay SEED] [--dfs N]``
+    Dynamically verify the shipped protocols: fuzz seeded workloads under
+    adversarial message interleavings with the coherence-invariant monitor
+    and the differential oracle attached; optionally model-check a few
+    workloads exhaustively (bounded DFS).  Violations print a minimized,
+    seed-replayable counterexample.
 """
 
 from __future__ import annotations
@@ -177,6 +184,78 @@ def _cmd_audit(args: argparse.Namespace) -> int:
     return 0 if ok else 1
 
 
+def _cmd_verify(args: argparse.Namespace) -> int:
+    import pathlib
+
+    from repro.verify import (
+        ALL_PROTOCOLS,
+        dfs_explore_seed,
+        fuzz,
+        make_bundled_sessions,
+        verify_trace_file,
+    )
+
+    protocols = args.protocols.split(",") if args.protocols else list(ALL_PROTOCOLS)
+    unknown = set(protocols) - set(ALL_PROTOCOLS)
+    if unknown:
+        print(f"error: unknown protocol(s) {sorted(unknown)}; "
+              f"available: {list(ALL_PROTOCOLS)}", file=sys.stderr)
+        return 2
+
+    traces_dir = pathlib.Path(args.traces)
+    if args.regen_traces:
+        from repro.tempest.tracefile import save_session
+
+        traces_dir.mkdir(parents=True, exist_ok=True)
+        for name, workload in make_bundled_sessions().items():
+            save_session(workload.events, traces_dir / name,
+                         regions=workload.regions)
+            print(f"wrote {traces_dir / name} ({workload.describe()})")
+        return 0
+
+    failed = False
+
+    if args.replay is not None:
+        from repro.verify import replay_seed
+
+        report = replay_seed(args.replay, protocols=protocols)
+        print(report.summary())
+        failed = not report.ok
+    else:
+        report = fuzz(seeds=args.seeds, protocols=protocols,
+                      shrink=not args.no_shrink, progress=print)
+        print(report.summary())
+        failed = not report.ok
+
+    if args.dfs:
+        print()
+        for protocol in protocols:
+            for seed in range(args.dfs_seeds):
+                n, violations = dfs_explore_seed(
+                    seed, protocol, max_runs=args.dfs, max_depth=args.dfs_depth)
+                if n == 0 and not violations:
+                    continue  # workload dialect incompatible with protocol
+                status = "ok" if not violations else "VIOLATION"
+                print(f"dfs [{protocol}] seed {seed}: "
+                      f"{n} interleaving(s) explored — {status}")
+                for rec in violations:
+                    print(rec.report())
+                    failed = True
+
+    if traces_dir.is_dir() and not args.no_traces:
+        print()
+        for path in sorted(traces_dir.glob("*.trace")):
+            trace_report = verify_trace_file(path, protocols=protocols)
+            status = "ok" if trace_report.ok else "VIOLATION"
+            print(f"trace {path.name}: {trace_report.runs} monitored "
+                  f"replay(s) — {status}")
+            for rec in trace_report.violations:
+                print(rec.report())
+            failed = failed or not trace_report.ok
+
+    return 1 if failed else 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -221,6 +300,36 @@ def build_parser() -> argparse.ArgumentParser:
 
     p = sub.add_parser("audit", help="audit protocol transition tables")
     p.set_defaults(fn=_cmd_audit)
+
+    p = sub.add_parser(
+        "verify",
+        help="fuzz the protocols under adversarial interleavings with the "
+             "coherence-invariant monitor and differential oracle",
+    )
+    p.add_argument("--seeds", type=int, default=50,
+                   help="number of fuzz seeds (each = one workload + one "
+                        "interleaving per protocol)")
+    p.add_argument("--protocols",
+                   help="comma-separated subset of stache,write-update,predictive")
+    p.add_argument("--replay", type=int, metavar="SEED",
+                   help="re-run exactly one seed (as printed in a violation)")
+    p.add_argument("--dfs", type=int, metavar="N", default=0,
+                   help="also model-check: enumerate up to N interleavings "
+                        "per protocol by bounded DFS")
+    p.add_argument("--dfs-seeds", type=int, default=3,
+                   help="workload seeds to model-check under --dfs")
+    p.add_argument("--dfs-depth", type=int, default=10,
+                   help="branching depth bound for --dfs")
+    p.add_argument("--traces", default="examples/traces",
+                   help="directory of bundled session traces to replay "
+                        "under every protocol (skipped if missing)")
+    p.add_argument("--no-traces", action="store_true",
+                   help="skip bundled-trace verification")
+    p.add_argument("--no-shrink", action="store_true",
+                   help="skip counterexample minimization")
+    p.add_argument("--regen-traces", action="store_true",
+                   help="regenerate the bundled traces under --traces and exit")
+    p.set_defaults(fn=_cmd_verify)
 
     return parser
 

@@ -21,16 +21,20 @@ PROTOCOLS = {
 }
 
 
-def make_machine(config: MachineConfig, protocol: str = "stache") -> Machine:
+def make_machine(config: MachineConfig, protocol: str = "stache",
+                 engine=None) -> Machine:
     """Create a simulated machine running the named coherence protocol.
 
     ``protocol`` is one of ``"stache"`` (the write-invalidate default),
     ``"predictive"`` (the paper's contribution), or ``"write-update"``
-    (the hand-optimized SPMD baseline's custom protocol).
+    (the hand-optimized SPMD baseline's custom protocol).  ``engine``
+    optionally supplies a pre-built event engine — the verification
+    subsystem passes an :class:`~repro.verify.interleave.ExplorerEngine`
+    here to fuzz message interleavings.
     """
     cls = PROTOCOLS.get(protocol)
     if cls is None:
         raise ConfigError(
             f"unknown protocol {protocol!r}; available: {sorted(PROTOCOLS)}"
         )
-    return Machine(config, cls)
+    return Machine(config, cls, engine=engine)

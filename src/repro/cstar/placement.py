@@ -107,8 +107,13 @@ def place_directives(root: FlowNode, label_prefix: str = "") -> PlacementResult:
     def needs_any(node: FlowNode) -> bool:
         return any(needs[c.site_id] for c in iter_calls(node))
 
+    next_id = iter(range(1, 1 << 30))
+
     def new_group(members: list[FlowNode], hoisted: bool) -> FlowGroup:
-        d = Directive.fresh(label_prefix + "phase")
+        # Ids are allocated per compilation, not from the process-global
+        # counter: compiling the same source twice must yield identical
+        # programs (directive ids key schedules only within one machine).
+        d = Directive(id=next(next_id), label=label_prefix + "phase")
         g = PhaseGroup(directive=d, hoisted=hoisted)
         for m in members:
             g.site_ids.extend(c.site_id for c in iter_calls(m))

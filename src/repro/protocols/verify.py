@@ -8,7 +8,10 @@ directory states, it audits a protocol class's transition table for
 * **holes** — a legal (state, event) pair with no declared handler (the
   dispatcher would raise :class:`ProtocolError` at runtime), and
 * **dead transitions** — declared handlers for pairs the specification says
-  cannot occur (usually a refactoring leftover).
+  cannot occur (usually a refactoring leftover), and
+* **unknown states** — declared handlers for states the specification does
+  not mention at all (a renamed or removed state; the handler can never
+  fire against a spec-conforming directory).
 
 The Stache/predictive home-side specification is provided as
 :data:`STACHE_HOME_SPEC`; tests assert the shipped protocols are
@@ -42,10 +45,17 @@ class AuditResult:
     holes: list[tuple[str, str]] = field(default_factory=list)
     dead: list[tuple[str, str]] = field(default_factory=list)
     covered: list[tuple[str, str]] = field(default_factory=list)
+    #: transitions declared for states the spec does not know about
+    unknown_states: list[tuple[str, str]] = field(default_factory=list)
 
     @property
     def ok(self) -> bool:
         return not self.holes
+
+    @property
+    def clean(self) -> bool:
+        """Hole-free AND free of dead/unknown-state leftovers."""
+        return not (self.holes or self.dead or self.unknown_states)
 
     def report(self) -> str:
         lines = [f"protocol audit: {self.protocol}"]
@@ -59,6 +69,10 @@ class AuditResult:
         if self.dead:
             lines.append("  dead transitions (handler for impossible event):")
             for state, event in self.dead:
+                lines.append(f"    ({state}, {event})")
+        if self.unknown_states:
+            lines.append("  unknown states (handler for state absent from the spec):")
+            for state, event in self.unknown_states:
                 lines.append(f"    ({state}, {event})")
         return "\n".join(lines)
 
@@ -83,6 +97,8 @@ def audit_protocol(
             else:
                 result.holes.append((state, event))
     for (state, event) in table:
-        if state in full_spec and event not in full_spec[state]:
+        if state not in full_spec:
+            result.unknown_states.append((state, event))
+        elif event not in full_spec[state]:
             result.dead.append((state, event))
     return result

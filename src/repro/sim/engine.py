@@ -71,6 +71,19 @@ class Engine:
 
     # -- execution -----------------------------------------------------------
 
+    def _next_event(self) -> Event | None:
+        """Select and remove the next event to dispatch.
+
+        The base engine is strictly FIFO among same-timestamp events (heap
+        order is ``(time, seq)``).  :class:`repro.verify.interleave.ExplorerEngine`
+        overrides this hook to explore alternative legal tie-break orders.
+        """
+        while self._queue and self._queue[0].cancelled:
+            heapq.heappop(self._queue)
+        if not self._queue:
+            return None
+        return heapq.heappop(self._queue)
+
     def run(self, until: float | None = None, max_events: int | None = None) -> int:
         """Dispatch events in order until the queue empties.
 
@@ -83,14 +96,15 @@ class Engine:
         self._running = True
         dispatched = 0
         try:
-            while self._queue:
-                ev = self._queue[0]
-                if ev.cancelled:
-                    heapq.heappop(self._queue)
-                    continue
-                if until is not None and ev.time > until:
+            while True:
+                t = self.peek_time()
+                if t is None:
                     break
-                heapq.heappop(self._queue)
+                if until is not None and t > until:
+                    break
+                ev = self._next_event()
+                if ev is None:
+                    break
                 self.now = ev.time
                 ev.fn()
                 dispatched += 1

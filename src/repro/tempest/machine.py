@@ -195,9 +195,10 @@ class Machine:
     protocols can hold a back-reference without an import cycle.
     """
 
-    def __init__(self, config: MachineConfig, protocol_factory) -> None:
+    def __init__(self, config: MachineConfig, protocol_factory,
+                 engine: Engine | None = None) -> None:
         self.config = config
-        self.engine = Engine()
+        self.engine = engine if engine is not None else Engine()
         self.addr_space = AddressSpace(config)
         self.network = Network(self.engine, config)
         self.stats = RunStats(config.n_nodes)
@@ -215,6 +216,13 @@ class Machine:
         #: ("end_group",) — a complete session recording that
         #: repro.tempest.tracefile can save and replay on other machines
         self.recorder: list | None = None
+        #: observers called as ``hook(node, block, kind)`` on every completed
+        #: shared access (hits and granted faults alike) — the differential
+        #: oracle in repro.verify records per-block reader/writer sets here
+        self.access_hooks: list = []
+        #: observers called as ``hook(machine, trace)`` after each phase's
+        #: barrier releases — the invariant monitor checks quiescence here
+        self.phase_hooks: list = []
         self.protocol: CoherenceProtocolAPI = protocol_factory(self)
         self.network.attach(self._deliver)
 
@@ -240,6 +248,8 @@ class Machine:
         self.group_accessed.add((node, block))
         if kind == "w":
             self.phase_writes.add((node, block))
+        for hook in self.access_hooks:
+            hook(node, block, kind)
 
     def was_accessed(self, node: int, block: int) -> bool:
         return (node, block) in self.group_accessed
@@ -338,6 +348,8 @@ class Machine:
             messages=self.stats.messages - msgs_before,
         )
         self.stats.phases.append(breakdown)
+        for hook in self.phase_hooks:
+            hook(self, trace)
         return breakdown
 
     def _arrive_barrier(self, proc: ReplayProcessor, t: float) -> None:

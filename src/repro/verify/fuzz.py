@@ -1,0 +1,261 @@
+"""The fuzz driver: many seeds x protocols x interleavings, with shrinking.
+
+One *seed* names one generated workload (:mod:`repro.verify.workload`) and
+one pseudo-random tie-break schedule per protocol.  Every run executes under
+the invariant monitor; home-owned seeds additionally cross-check all
+protocols through the differential oracle.  A failure is captured as a
+:class:`~repro.verify.monitor.CoherenceViolation` and then **shrunk**: the
+recorded tie-break schedule is bisected to the shortest prefix that still
+reproduces a violation (the suffix falls back to deterministic FIFO), so
+counterexamples replay from a handful of choices instead of thousands.
+
+``repro verify`` (see :mod:`repro.cli`) is a thin front-end over
+:func:`fuzz` and :func:`verify_trace_file`.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Callable, Sequence
+
+from repro.tempest.tracefile import load_session
+from repro.util.config import MachineConfig
+from repro.verify.interleave import ReplayPolicy, SeededRandomPolicy, explore_dfs
+from repro.verify.monitor import CoherenceViolation
+from repro.verify.oracle import Observables, differential_check, run_workload
+from repro.verify.workload import (
+    ALL_PROTOCOLS,
+    Workload,
+    generate_workload,
+)
+
+
+@dataclass
+class ViolationRecord:
+    """One caught violation plus its minimized replay schedule."""
+
+    seed: int
+    protocol: str
+    violation: CoherenceViolation
+    minimized_schedule: list[int] | None = None
+    shrink_runs: int = 0
+
+    def report(self) -> str:
+        lines = [self.violation.report()]
+        if self.minimized_schedule is not None:
+            lines.append(
+                f"  minimized: {len(self.minimized_schedule)} choice(s) "
+                f"{self.minimized_schedule} (shrunk in {self.shrink_runs} reruns)"
+            )
+        return "\n".join(lines)
+
+
+@dataclass
+class FuzzReport:
+    """Aggregate outcome of one fuzz campaign."""
+
+    seeds: int = 0
+    runs: int = 0
+    protocols: tuple = ALL_PROTOCOLS
+    violations: list[ViolationRecord] = field(default_factory=list)
+    elapsed: float = 0.0
+
+    @property
+    def ok(self) -> bool:
+        return not self.violations
+
+    def summary(self) -> str:
+        lines = [
+            f"fuzzed {self.seeds} seed(s), {self.runs} run(s) across "
+            f"protocols {', '.join(self.protocols)} in {self.elapsed:.1f}s"
+        ]
+        if self.ok:
+            lines.append("no coherence violations found")
+        else:
+            lines.append(f"{len(self.violations)} VIOLATION(S):")
+            for rec in self.violations:
+                lines.append(rec.report())
+        return "\n".join(lines)
+
+
+def shrink_schedule(
+    fails: Callable[[list[int]], bool], schedule: list[int]
+) -> tuple[list[int], int]:
+    """Bisect ``schedule`` to a minimal failing prefix.
+
+    ``fails(prefix)`` reruns the workload with ``prefix`` as the tie-break
+    schedule (FIFO beyond it) and reports whether a violation reproduces.
+    Returns ``(minimal_prefix, reruns)``.
+    """
+    runs = 0
+
+    def check(prefix: list[int]) -> bool:
+        nonlocal runs
+        runs += 1
+        return fails(prefix)
+
+    if check([]):
+        return [], runs
+    lo, hi = 0, len(schedule)  # invariant: fails at hi, passes at lo
+    while hi - lo > 1:
+        mid = (lo + hi) // 2
+        if check(schedule[:mid]):
+            hi = mid
+        else:
+            lo = mid
+    minimal = schedule[:hi]
+    # a trailing 0 is the FIFO default — dropping it cannot change the run,
+    # but confirm by rerun in case the bisection landed on a fluke
+    while minimal and minimal[-1] == 0 and check(minimal[:-1]):
+        minimal = minimal[:-1]
+    return minimal, runs
+
+
+def _fails_with(workload: Workload, protocol: str) -> Callable[[list[int]], bool]:
+    def fails(prefix: list[int]) -> bool:
+        try:
+            run_workload(workload, protocol, ReplayPolicy(prefix))
+        except CoherenceViolation:
+            return True
+        return False
+
+    return fails
+
+
+def fuzz(
+    seeds: int = 50,
+    protocols: Sequence[str] | None = None,
+    first_seed: int = 0,
+    shrink: bool = True,
+    progress: Callable[[str], None] | None = None,
+) -> FuzzReport:
+    """Fuzz ``seeds`` workloads under adversarial interleavings."""
+    report = FuzzReport(protocols=tuple(protocols) if protocols else ALL_PROTOCOLS)
+    t0 = time.perf_counter()
+    for seed in range(first_seed, first_seed + seeds):
+        workload = generate_workload(seed)
+        run_protocols = [p for p in workload.protocols if p in report.protocols]
+        observed: dict[str, Observables] = {}
+        report.seeds += 1
+        for protocol in run_protocols:
+            policy = SeededRandomPolicy(seed)
+            report.runs += 1
+            try:
+                observed[protocol] = run_workload(workload, protocol, policy)
+            except CoherenceViolation as violation:
+                rec = ViolationRecord(seed=seed, protocol=protocol, violation=violation)
+                if shrink and violation.schedule:
+                    rec.minimized_schedule, rec.shrink_runs = shrink_schedule(
+                        _fails_with(workload, protocol), violation.schedule
+                    )
+                elif shrink:
+                    rec.minimized_schedule, rec.shrink_runs = [], 0
+                report.violations.append(rec)
+                if progress:
+                    progress(f"seed {seed} [{protocol}]: VIOLATION "
+                             f"({violation.invariant})")
+        if observed:
+            try:
+                differential_check(workload, observed)
+            except CoherenceViolation as violation:
+                report.violations.append(
+                    ViolationRecord(seed=seed, protocol=violation.protocol,
+                                    violation=violation)
+                )
+                if progress:
+                    progress(f"seed {seed}: DIFFERENTIAL mismatch")
+        if progress and seed % 25 == 24:
+            progress(f"... {seed + 1 - first_seed}/{seeds} seeds")
+    report.elapsed = time.perf_counter() - t0
+    return report
+
+
+def replay_seed(seed: int, protocols: Sequence[str] | None = None) -> FuzzReport:
+    """Re-run exactly one seed (the replay path printed in violations)."""
+    return fuzz(seeds=1, first_seed=seed, protocols=protocols)
+
+
+def dfs_explore_seed(
+    seed: int,
+    protocol: str,
+    max_runs: int = 64,
+    max_depth: int = 10,
+) -> tuple[int, list[ViolationRecord]]:
+    """Systematically enumerate interleavings of one workload (bounded DFS).
+
+    Returns ``(schedules_executed, violations)``.  A protocol the workload's
+    dialect does not support (write-update needs home-owned writes) explores
+    zero schedules.
+    """
+    workload = generate_workload(seed)
+    if protocol not in workload.protocols:
+        return 0, []
+    violations: list[ViolationRecord] = []
+    executed = 0
+
+    def run_once(policy):
+        return run_workload(workload, protocol, policy)
+
+    gen = explore_dfs(run_once, max_runs=max_runs, max_depth=max_depth)
+    while True:
+        try:
+            next(gen)
+        except StopIteration:
+            break
+        except CoherenceViolation as violation:
+            rec = ViolationRecord(seed=seed, protocol=protocol, violation=violation)
+            rec.minimized_schedule, rec.shrink_runs = shrink_schedule(
+                _fails_with(workload, protocol), violation.schedule
+            )
+            violations.append(rec)
+            break
+        executed += 1
+    return executed, violations
+
+
+# -- bundled-trace verification --------------------------------------------------
+
+
+def verify_trace_file(
+    path: str | Path,
+    protocols: Sequence[str] = ALL_PROTOCOLS,
+    config: MachineConfig | None = None,
+    seeds_per_protocol: int = 2,
+) -> FuzzReport:
+    """Replay a saved session file under each protocol + several orders.
+
+    The session must carry its recorded regions (``record_regions``) so homes
+    can be restored.  Each protocol runs once in FIFO order and then under
+    ``seeds_per_protocol`` seeded-random interleavings, all monitored.
+    """
+    events, regions = load_session(path)
+    n_nodes = next(len(ev[1].ops) for ev in events if ev[0] == "phase")
+    cfg = config or MachineConfig(n_nodes=n_nodes, block_size=32, page_size=128)
+    report = FuzzReport(protocols=tuple(protocols))
+    t0 = time.perf_counter()
+    workload = Workload(seed=-1, config=cfg, events=events, regions=regions,
+                        protocols=tuple(protocols))
+    observed: dict[str, Observables] = {}
+    for protocol in protocols:
+        policies = [None] + [SeededRandomPolicy(s) for s in range(seeds_per_protocol)]
+        for policy in policies:
+            report.runs += 1
+            try:
+                observed[protocol] = run_workload(workload, protocol, policy)
+            except CoherenceViolation as violation:
+                report.violations.append(
+                    ViolationRecord(seed=-1, protocol=protocol, violation=violation)
+                )
+    if observed:
+        try:
+            differential_check(workload, observed)
+        except CoherenceViolation as violation:
+            report.violations.append(
+                ViolationRecord(seed=-1, protocol=violation.protocol,
+                                violation=violation)
+            )
+    report.seeds = 1
+    report.elapsed = time.perf_counter() - t0
+    return report

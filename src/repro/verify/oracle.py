@@ -1,0 +1,113 @@
+"""Run a workload under one protocol + interleaving; differential compare.
+
+The oracle's claim: a coherence protocol must never change *observable*
+execution — the per-block reader/writer sets and the final memory image
+(last writer + write count per block) are fully determined by the access
+trace, whatever protocol or legal message order serves it.  Pre-sending in
+particular (the paper's optimization) may only move data earlier, never
+alter what the processors read and write.
+
+:func:`run_workload` replays one session through a machine wrapped in an
+:class:`~repro.verify.interleave.ExplorerEngine`, with the
+:class:`~repro.verify.monitor.InvariantMonitor` attached; any protocol
+error, simulation deadlock, or invariant failure surfaces as a structured
+:class:`~repro.verify.monitor.CoherenceViolation` carrying the seed and
+the recorded tie-break schedule.  :func:`differential_check` then compares
+each protocol's observables against the trace-derived ground truth.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.core.factory import make_machine
+from repro.sim.stats import RunStats
+from repro.tempest.tracefile import replay_session
+from repro.util.errors import ProtocolError, SimulationError
+from repro.verify.interleave import ExplorerEngine, FifoPolicy, TieBreakPolicy
+from repro.verify.monitor import CoherenceViolation, InvariantMonitor
+from repro.verify.workload import Workload, expected_observables
+
+
+@dataclass
+class Observables:
+    """What one run exposed to the outside world."""
+
+    protocol: str
+    readers: dict[int, set[int]] = field(default_factory=dict)
+    writers: dict[int, set[int]] = field(default_factory=dict)
+    image: dict[int, tuple[int, int]] = field(default_factory=dict)
+    stats: RunStats | None = None
+
+    def record(self, node: int, block: int, kind: str) -> None:
+        if kind == "r":
+            self.readers.setdefault(block, set()).add(node)
+        else:
+            self.writers.setdefault(block, set()).add(node)
+            last, count = self.image.get(block, (node, 0))
+            self.image[block] = (node, count + 1)
+
+
+def run_workload(
+    workload: Workload,
+    protocol: str,
+    policy: TieBreakPolicy | None = None,
+    max_events: int | None = 2_000_000,
+) -> Observables:
+    """Replay ``workload`` under ``protocol`` with policy-driven tie-breaks.
+
+    Raises :class:`CoherenceViolation` on any invariant failure, protocol
+    error, or deadlock, with the seed and schedule attached for replay.
+    """
+    policy = policy if policy is not None else FifoPolicy()
+    engine = ExplorerEngine(policy, default_max_events=max_events)
+    machine = make_machine(workload.config, protocol, engine=engine)
+    monitor = InvariantMonitor(seed=workload.seed, policy=policy)
+    monitor.attach(machine)
+    obs = Observables(protocol=protocol)
+    machine.access_hooks.append(obs.record)
+    try:
+        obs.stats = replay_session(workload.session, machine)
+        monitor.check(machine, phase="end-of-run")
+    except CoherenceViolation:
+        raise
+    except (ProtocolError, SimulationError) as exc:
+        invariant = "deadlock" if "deadlock" in str(exc) else "protocol-error"
+        raise CoherenceViolation(
+            invariant, str(exc),
+            protocol=protocol, phase="(during run)",
+            seed=workload.seed, schedule=list(policy.choices),
+        ) from exc
+    return obs
+
+
+def differential_check(workload: Workload, observed: dict[str, Observables]) -> None:
+    """Compare every protocol's observables against the trace ground truth.
+
+    Each run's observables must match the program-order expectation exactly;
+    transitively, all protocols therefore agree with each other.  Raises
+    :class:`CoherenceViolation` (invariant ``differential``) on mismatch.
+    """
+    expected = expected_observables(workload)
+    for proto, obs in observed.items():
+        for label, got, want in [
+            ("reader sets", obs.readers, expected["readers"]),
+            ("writer sets", obs.writers, expected["writers"]),
+            ("final memory image", obs.image, expected["image"]),
+        ]:
+            if got != want:
+                diff_blocks = sorted(
+                    b for b in set(got) | set(want) if got.get(b) != want.get(b)
+                )[:8]
+                detail = (
+                    f"{proto} diverged from the trace-determined {label} on "
+                    f"blocks {diff_blocks}: "
+                    + "; ".join(
+                        f"block {b}: got {got.get(b)!r}, expected {want.get(b)!r}"
+                        for b in diff_blocks[:3]
+                    )
+                )
+                raise CoherenceViolation(
+                    "differential", detail,
+                    protocol=proto, phase="end-of-run", seed=workload.seed,
+                )

@@ -1,0 +1,184 @@
+"""Randomized fuzz workloads: seeded, replayable coherence stress sessions.
+
+A workload is an ordinary recorded session (the same shape
+:mod:`repro.tempest.tracefile` saves and replays) generated from one seed:
+iterative phase groups whose access patterns mix the paper's motifs —
+producer/consumer blocks, multi-reader fan-in to one home, migratory
+read-modify-write, same-phase read+write conflicts, and adaptive growth
+(new readers appearing in later iterations).
+
+Two dialects, chosen per seed:
+
+* **home-owned writes** (even seeds) — every write targets a block its
+  writer is home for, the SPMD discipline the write-update protocol
+  requires; these sessions run under all three protocols and feed the
+  differential oracle.
+* **remote writes allowed** (odd seeds) — writers fault on other nodes'
+  blocks, driving Stache/predictive through the EXCLUSIVE / recall /
+  writeback paths that home-owned traffic never reaches; these sessions
+  run under the invalidate-family protocols only.
+
+Each block has at most one writer per phase, so the final memory image
+(last writer + write count per block) is a deterministic function of the
+session — the property the differential oracle checks.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+
+from repro.tempest.machine import PhaseTrace
+from repro.util.config import MachineConfig
+
+#: protocols compatible with each workload dialect
+INVALIDATE_PROTOCOLS = ("stache", "predictive")
+ALL_PROTOCOLS = ("stache", "write-update", "predictive")
+
+
+@dataclass
+class Workload:
+    """One generated fuzz session plus the context needed to run it."""
+
+    seed: int
+    config: MachineConfig
+    events: list = field(default_factory=list)
+    regions: list = field(default_factory=list)
+    protocols: tuple = ALL_PROTOCOLS
+
+    @property
+    def session(self) -> tuple[list, list]:
+        return self.events, self.regions
+
+    def describe(self) -> str:
+        phases = sum(1 for e in self.events if e[0] == "phase")
+        return (f"workload seed={self.seed} nodes={self.config.n_nodes} "
+                f"phases={phases} protocols={','.join(self.protocols)}")
+
+
+def generate_workload(seed: int) -> Workload:
+    """Deterministically generate the fuzz workload for ``seed``."""
+    rng = random.Random(seed ^ 0x5EED)
+    home_owned = seed % 2 == 0
+
+    n_nodes = rng.randint(2, 4)
+    block_size = 32
+    blocks_per_page = 4
+    page_size = block_size * blocks_per_page
+    pages_per_node = rng.randint(1, 2)
+    n_pages = n_nodes * pages_per_node
+    cfg = MachineConfig(n_nodes=n_nodes, block_size=block_size, page_size=page_size)
+
+    homes = [p % n_nodes for p in range(n_pages)]
+    regions = [{"name": "data", "size": n_pages * page_size, "homes": homes}]
+    # the address space reserves page 0 (null), so the region's first block
+    # is one page's worth of blocks in — use global block indices throughout
+    first_block = blocks_per_page
+    blocks = range(first_block, first_block + n_pages * blocks_per_page)
+    home_of = {b: homes[(b - first_block) // blocks_per_page] for b in blocks}
+
+    n_directives = rng.randint(1, 3)
+    iterations = rng.randint(2, 3)
+
+    # Per directive: a base access pattern that stays mostly stable across
+    # iterations (so the predictive schedule is usually right) plus a chance
+    # of adaptive growth each iteration.
+    directives = []
+    for d in range(n_directives):
+        written: dict[int, int] = {}  # block -> writer (unique per phase)
+        for b in blocks:
+            if rng.random() < 0.5:
+                if home_owned:
+                    written[b] = home_of[b]
+                else:
+                    written[b] = rng.randrange(n_nodes)
+        readers: dict[int, set[int]] = {
+            b: {n for n in range(n_nodes) if rng.random() < 0.4}
+            for b in blocks
+        }
+        directives.append({"written": written, "readers": readers})
+
+    events: list = []
+    for it in range(iterations):
+        for d, pat in enumerate(directives):
+            # adaptive growth: occasionally a new reader joins a block
+            if it > 0 and rng.random() < 0.5:
+                b = rng.choice(list(blocks))
+                pat["readers"][b].add(rng.randrange(n_nodes))
+            ops: list[list] = [[] for _ in range(n_nodes)]
+            for node in range(n_nodes):
+                node_ops: list = []
+                for b, writer in pat["written"].items():
+                    if writer == node:
+                        node_ops.append(("w", b))
+                for b, rs in pat["readers"].items():
+                    if node in rs:
+                        node_ops.append(("r", b))
+                rng.shuffle(node_ops)
+                # migratory read-modify-write: re-read a block just written
+                if node_ops and rng.random() < 0.3:
+                    k = rng.randrange(len(node_ops))
+                    kind, b = node_ops[k]
+                    if kind == "w":
+                        node_ops.insert(k, ("r", b))
+                # intersperse compute charges so processors desynchronize;
+                # quantized so timestamps still collide across nodes, which
+                # is what creates tie-break choice points to explore
+                final_ops: list = []
+                for op in node_ops:
+                    if rng.random() < 0.4:
+                        final_ops.append(("c", 50 * rng.randint(1, 8)))
+                    final_ops.append(op)
+                ops[node] = final_ops
+            events.append(("begin_group", d))
+            events.append(("phase", PhaseTrace(f"d{d}-it{it}", ops)))
+            events.append(("end_group",))
+
+    return Workload(
+        seed=seed,
+        config=cfg,
+        events=events,
+        regions=regions,
+        protocols=ALL_PROTOCOLS if home_owned else INVALIDATE_PROTOCOLS,
+    )
+
+
+def expected_observables(workload: Workload) -> dict:
+    """The trace-determined ground truth the differential oracle checks.
+
+    Pure function of the session: per-block reader set, writer set, write
+    count, and final (last-writer, write-count) image in program order.
+    """
+    readers: dict[int, set[int]] = {}
+    writers: dict[int, set[int]] = {}
+    write_counts: dict[int, int] = {}
+    last_writer: dict[int, int] = {}
+    for ev in workload.events:
+        if ev[0] != "phase":
+            continue
+        trace: PhaseTrace = ev[1]
+        for node, ops in enumerate(trace.ops):
+            for op in ops:
+                if op[0] == "r":
+                    readers.setdefault(op[1], set()).add(node)
+                elif op[0] == "w":
+                    writers.setdefault(op[1], set()).add(node)
+                    write_counts[op[1]] = write_counts.get(op[1], 0) + 1
+                    last_writer[op[1]] = node
+    return {
+        "readers": readers,
+        "writers": writers,
+        "image": {b: (last_writer[b], write_counts[b]) for b in last_writer},
+    }
+
+
+def make_bundled_sessions() -> dict[str, Workload]:
+    """The small, deterministic sessions checked in under examples/traces/.
+
+    Home-owned seeds so every bundled trace runs under all three protocols.
+    """
+    return {
+        "producer_consumer.trace": generate_workload(6),
+        "multireader_fanin.trace": generate_workload(30),
+        "adaptive_growth.trace": generate_workload(38),
+    }

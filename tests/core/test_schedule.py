@@ -141,6 +141,43 @@ class TestCoalescing:
             if i + 1 < len(runs):
                 assert first + count < runs[i + 1][0]
 
+    # -- full property contract over arbitrary (duplicated, unsorted) input ----
+
+    @given(st.lists(st.integers(min_value=0, max_value=500), max_size=100))
+    def test_runs_are_sorted_ascending(self, blocks):
+        runs = coalesce_blocks(blocks)
+        firsts = [first for first, _ in runs]
+        assert firsts == sorted(firsts)
+
+    @given(st.lists(st.integers(min_value=0, max_value=500), max_size=100))
+    def test_runs_are_disjoint(self, blocks):
+        runs = coalesce_blocks(blocks)
+        seen: set[int] = set()
+        for first, count in runs:
+            members = set(range(first, first + count))
+            assert not (members & seen), f"run ({first},{count}) overlaps earlier runs"
+            seen |= members
+
+    @given(st.lists(st.integers(min_value=0, max_value=500), max_size=100))
+    def test_cover_is_exact_no_duplication_or_loss(self, blocks):
+        runs = coalesce_blocks(blocks)
+        covered: list[int] = []
+        for first, count in runs:
+            covered.extend(range(first, first + count))
+        # every input block appears exactly once, nothing extra
+        assert len(covered) == len(set(covered))
+        assert set(covered) == set(blocks)
+
+    @given(st.lists(st.integers(min_value=0, max_value=500), max_size=100))
+    def test_counts_are_positive(self, blocks):
+        assert all(count >= 1 for _, count in coalesce_blocks(blocks))
+
+    @given(st.lists(st.integers(min_value=0, max_value=500), max_size=100))
+    def test_idempotent_on_own_cover(self, blocks):
+        runs = coalesce_blocks(blocks)
+        cover = [b for first, count in runs for b in range(first, first + count)]
+        assert coalesce_blocks(cover) == runs
+
 
 class TestMigratoryRMW:
     """Read-then-write by the SAME node in one phase is migratory, not a

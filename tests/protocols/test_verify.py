@@ -73,3 +73,60 @@ class TestAuditMechanics:
     def test_holes_appear_in_report(self):
         result = audit_protocol(self.make_incomplete(), {"A": {"x", "y"}})
         assert "HOLES" in result.report()
+
+
+class TestUnknownStates:
+    """Transitions for states absent from the spec must be reported, not
+    silently ignored (they can never fire against a conforming directory)."""
+
+    def make_with_unknown_state(self):
+        class Renamed(ProtocolStateMachine):
+            @transition("A", "x")
+            def ax(self, entry):
+                pass
+
+            # handler for a state the spec no longer mentions (e.g. the
+            # state was renamed and this declaration was left behind)
+            @transition("GHOST", "x")
+            def ghost(self, entry):
+                pass
+
+        return Renamed
+
+    def test_unknown_state_reported(self):
+        result = audit_protocol(self.make_with_unknown_state(), {"A": {"x"}})
+        assert ("GHOST", "x") in result.unknown_states
+        assert ("GHOST", "x") not in result.dead
+        assert ("GHOST", "x") not in result.covered
+
+    def test_unknown_state_not_a_hole(self):
+        result = audit_protocol(self.make_with_unknown_state(), {"A": {"x"}})
+        assert result.ok  # holes gate runtime safety; unknowns gate cleanliness
+        assert not result.clean
+
+    def test_unknown_state_in_report(self):
+        result = audit_protocol(self.make_with_unknown_state(), {"A": {"x"}})
+        text = result.report()
+        assert "unknown states" in text
+        assert "GHOST" in text
+
+    def test_extra_states_rescue_unknowns(self):
+        result = audit_protocol(
+            self.make_with_unknown_state(), {"A": {"x"}},
+            extra_states={"GHOST": {"x"}},
+        )
+        assert result.unknown_states == []
+        assert ("GHOST", "x") in result.covered
+
+    def test_clean_on_exact_match(self):
+        result = audit_protocol(self.make_with_unknown_state(),
+                                {"A": {"x"}, "GHOST": {"x"}})
+        assert result.clean
+
+    def test_shipped_protocols_have_no_unknown_states(self):
+        for cls, spec in [
+            (StacheProtocol, STACHE_HOME_SPEC),
+            (PredictiveProtocol, STACHE_HOME_SPEC),
+        ]:
+            result = audit_protocol(cls, spec)
+            assert result.unknown_states == [], result.report()

@@ -64,6 +64,70 @@ class TestRoundTrip:
             load_session(path)
 
 
+GOLDEN = __file__.rsplit("/", 1)[0] + "/data/golden.trace"
+
+#: the session serialized in the checked-in golden file
+GOLDEN_EVENTS = [
+    ("begin_group", 1),
+    ("phase", PhaseTrace("produce", [[("w", 4), ("c", 100), ("w", 5)],
+                                     [("c", 50)]])),
+    ("end_group",),
+    ("begin_group", 1),
+    ("phase", PhaseTrace("consume", [[("c", 10)],
+                                     [("r", 4), ("r", 5)]])),
+    ("end_group",),
+]
+GOLDEN_REGIONS = [{"name": "data", "size": 256, "homes": [0, 0]}]
+
+
+class TestGoldenTrace:
+    """The on-disk format is stable: write -> read -> re-write is identity,
+    pinned against a checked-in golden file so format drift is loud."""
+
+    def test_write_matches_golden(self, tmp_path):
+        path = tmp_path / "fresh.trace"
+        save_session(GOLDEN_EVENTS, path, regions=GOLDEN_REGIONS)
+        with open(GOLDEN) as fh:
+            assert path.read_text() == fh.read()
+
+    def test_round_trip_is_byte_identical(self, tmp_path):
+        events, regions = load_session(GOLDEN)
+        rewritten = tmp_path / "rewritten.trace"
+        save_session(events, rewritten, regions=regions)
+        with open(GOLDEN, "rb") as fh:
+            assert rewritten.read_bytes() == fh.read()
+
+    def test_double_round_trip_is_stable(self, tmp_path):
+        """Load -> save -> load -> save reaches a fixed point immediately."""
+        first = tmp_path / "first.trace"
+        events, regions = load_session(GOLDEN)
+        save_session(events, first, regions=regions)
+        second = tmp_path / "second.trace"
+        events2, regions2 = load_session(first)
+        save_session(events2, second, regions=regions2)
+        assert first.read_bytes() == second.read_bytes()
+
+    def test_golden_session_content(self):
+        events, regions = load_session(GOLDEN)
+        assert regions == GOLDEN_REGIONS
+        assert [e[0] for e in events] == [e[0] for e in GOLDEN_EVENTS]
+        produce = events[1][1]
+        assert produce.name == "produce"
+        assert produce.ops == [[("w", 4), ("c", 100), ("w", 5)], [("c", 50)]]
+
+    def test_golden_replays_clean(self):
+        """The golden session actually runs (and satisfies the invariant
+        monitor) on a 2-node machine."""
+        from repro.verify import InvariantMonitor
+
+        cfg = MachineConfig(n_nodes=2, block_size=32, page_size=128)
+        m = make_machine(cfg, "stache")
+        monitor = InvariantMonitor().attach(m)
+        stats = replay_session(load_session(GOLDEN), m)
+        assert stats.misses > 0  # node 1's reads fault to node 0's home
+        assert monitor.checks_run == 2
+
+
 class TestReplay:
     def test_replay_reproduces_original_run(self, tmp_path):
         events, regions, original = record_water()

@@ -1,0 +1,76 @@
+"""Tests for the ``repro verify`` CLI subcommand."""
+
+import pytest
+
+from repro.cli import main
+
+
+class TestVerifyCommand:
+    def test_small_fuzz_run_exits_zero(self, capsys):
+        rc = main(["verify", "--seeds", "4", "--no-traces"])
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "4 seed(s)" in out
+        assert "no coherence violations" in out
+
+    def test_protocol_subset(self, capsys):
+        rc = main(["verify", "--seeds", "2", "--no-traces",
+                   "--protocols", "stache"])
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "protocols stache" in out
+
+    def test_unknown_protocol_rejected(self, capsys):
+        rc = main(["verify", "--seeds", "1", "--protocols", "mesi"])
+        assert rc == 2
+        assert "unknown protocol" in capsys.readouterr().err
+
+    def test_replay_single_seed(self, capsys):
+        rc = main(["verify", "--replay", "3", "--no-traces"])
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "1 seed(s)" in out
+
+    def test_dfs_mode(self, capsys):
+        rc = main(["verify", "--seeds", "1", "--no-traces",
+                   "--dfs", "4", "--dfs-seeds", "2", "--protocols", "stache"])
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "dfs [stache]" in out
+        assert "interleaving(s) explored" in out
+
+    def test_bundled_traces_replayed(self, capsys):
+        rc = main(["verify", "--seeds", "1"])
+        out = capsys.readouterr().out
+        assert rc == 0
+        for name in ("producer_consumer", "multireader_fanin",
+                     "adaptive_growth"):
+            assert f"trace {name}.trace" in out
+        assert "monitored replay(s) — ok" in out
+
+    def test_regen_traces_into_fresh_dir(self, tmp_path, capsys):
+        rc = main(["verify", "--regen-traces", "--traces", str(tmp_path)])
+        out = capsys.readouterr().out
+        assert rc == 0
+        written = sorted(p.name for p in tmp_path.glob("*.trace"))
+        assert written == ["adaptive_growth.trace", "multireader_fanin.trace",
+                           "producer_consumer.trace"]
+        assert "wrote" in out
+
+    def test_missing_traces_dir_is_skipped(self, capsys):
+        rc = main(["verify", "--seeds", "1", "--traces", "does/not/exist"])
+        assert rc == 0
+        assert "trace " not in capsys.readouterr().out.replace("traces", "")
+
+    def test_violations_exit_nonzero(self, capsys, monkeypatch):
+        from repro.core.factory import PROTOCOLS
+
+        from tests.verify.test_fuzz import DroppedAck
+
+        monkeypatch.setitem(PROTOCOLS, "stache", DroppedAck)
+        rc = main(["verify", "--seeds", "6", "--no-traces",
+                   "--protocols", "stache"])
+        out = capsys.readouterr().out
+        assert rc == 1
+        assert "VIOLATION" in out
+        assert "--replay" in out
