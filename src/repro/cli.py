@@ -26,6 +26,15 @@ Commands
     and the differential oracle attached; optionally model-check a few
     workloads exhaustively (bounded DFS).  Violations print a minimized,
     seed-replayable counterexample.
+
+``faults [--plans P,Q] [--seeds N] [--variants N] [--list-plans]``
+    Run the fault-injection campaign: every bundled fault plan (message
+    drops, duplicates, delays, handler stalls, schedule staleness and
+    corruption) against generated workloads and the bundled traces, under
+    the invariant monitor and differential oracle.  A failing stochastic
+    run is replayed through a scripted plan and shrunk to a minimal fault
+    reproducer.  Also checks the deliberately unrecoverable plan fails
+    fast with structured context.
 """
 
 from __future__ import annotations
@@ -256,6 +265,46 @@ def _cmd_verify(args: argparse.Namespace) -> int:
     return 1 if failed else 0
 
 
+def _cmd_faults(args: argparse.Namespace) -> int:
+    from repro.faults import BUNDLED_PLANS, run_campaign
+    from repro.verify import ALL_PROTOCOLS
+
+    if args.list_plans:
+        for name, plan in BUNDLED_PLANS.items():
+            print(f"{name:16s} {plan.describe()}")
+        return 0
+
+    plans = None
+    if args.plans:
+        unknown = set(args.plans.split(",")) - set(BUNDLED_PLANS)
+        if unknown:
+            print(f"error: unknown plan(s) {sorted(unknown)}; "
+                  f"available: {list(BUNDLED_PLANS)}", file=sys.stderr)
+            return 2
+        plans = {name: BUNDLED_PLANS[name] for name in args.plans.split(",")}
+
+    protocols = None
+    if args.protocols:
+        protocols = args.protocols.split(",")
+        unknown = set(protocols) - set(ALL_PROTOCOLS)
+        if unknown:
+            print(f"error: unknown protocol(s) {sorted(unknown)}; "
+                  f"available: {list(ALL_PROTOCOLS)}", file=sys.stderr)
+            return 2
+
+    report = run_campaign(
+        plans=plans,
+        seeds=args.seeds,
+        protocols=protocols,
+        variants=args.variants,
+        traces_dir=None if args.no_traces else args.traces,
+        shrink=not args.no_shrink,
+        progress=print,
+    )
+    print(report.summary())
+    return 0 if report.ok else 1
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -330,6 +379,32 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--regen-traces", action="store_true",
                    help="regenerate the bundled traces under --traces and exit")
     p.set_defaults(fn=_cmd_verify)
+
+    p = sub.add_parser(
+        "faults",
+        help="run the fault-injection campaign: every fault plan against "
+             "generated and bundled workloads, with minimal-reproducer "
+             "shrinking for failures",
+    )
+    p.add_argument("--plans",
+                   help="comma-separated subset of the bundled fault plans "
+                        "(default: all; see --list-plans)")
+    p.add_argument("--seeds", type=int, default=2,
+                   help="number of generated fuzz workloads")
+    p.add_argument("--variants", type=int, default=1,
+                   help="reseedings of each plan per workload")
+    p.add_argument("--protocols",
+                   help="comma-separated subset of stache,write-update,predictive")
+    p.add_argument("--traces", default="examples/traces",
+                   help="directory of bundled session traces "
+                        "(skipped if missing)")
+    p.add_argument("--no-traces", action="store_true",
+                   help="skip the bundled traces")
+    p.add_argument("--no-shrink", action="store_true",
+                   help="skip minimal-reproducer shrinking on failure")
+    p.add_argument("--list-plans", action="store_true",
+                   help="list the bundled fault plans and exit")
+    p.set_defaults(fn=_cmd_faults)
 
     return parser
 

@@ -35,7 +35,12 @@ from __future__ import annotations
 
 from typing import TYPE_CHECKING
 
-from repro.core.schedule import CommSchedule, EntryKind, coalesce_blocks
+from repro.core.schedule import (
+    CommSchedule,
+    EntryKind,
+    ScheduleStore,
+    coalesce_blocks,
+)
 from repro.protocols.directory import DirState
 from repro.protocols.messages import MessageKind as MK
 from repro.protocols.stache import StacheProtocol
@@ -60,29 +65,57 @@ class PredictiveProtocol(StacheProtocol):
     * ``anticipate_conflicts`` — implement §3.4's suggested extension:
       for a conflict block, "anticipate the first stable block state (read
       or write) before the conflict occurred" instead of doing nothing.
+
+    Robustness knobs (graceful degradation — correctness never depends on a
+    prediction, so every fallback is merely plain Stache for a while):
+
+    * ``max_schedules`` — bound on live schedules; least-recently-used
+      directive sites are evicted and relearned on return.
+    * ``degrade_patience`` / ``degrade_cooldown`` — pre-sent copies are
+      judged *deferred*: a copy only counts as wasted once the schedule
+      pre-sends it again and it was never accessed in the interim (so it
+      was invalidated unconsumed), and any access to a pre-sent copy — in
+      whatever later phase — resets the schedule's waste streak.  After
+      ``degrade_patience`` consecutive confirmed wastes the schedule is
+      flushed and the directive falls back to plain Stache for
+      ``degrade_cooldown`` instances before learning afresh.  Deferred
+      judgment is what keeps degradation off genuine workloads: a directive
+      whose pre-sends are consumed by a *different* aliased phase, or whose
+      recall merely brings the block home before the home reads it, is
+      helping even though its own instance never touches the copies.  Only
+      schedules that are chronically wrong — corrupted, stale, or predicting
+      for a consumer that never comes back while a writer keeps invalidating
+      the copy — accumulate confirmed wastes.
     """
 
     name = "predictive"
     coalesce_presend = True
     rebuild_every_group = False
     anticipate_conflicts = False
+    max_schedules = 64
+    degrade_patience = 3
+    degrade_cooldown = 2
 
     def __init__(self, machine: "Machine") -> None:
         super().__init__(machine)
-        self.schedules: dict[int, CommSchedule] = {}
+        self.schedules = ScheduleStore(self.max_schedules)
         #: (dst, block) pairs pre-sent in the current group (for usefulness stats)
         self._presented: set[tuple[int, int]] = set()
         self.presend_messages = 0
         self.presend_blocks = 0
+        #: set while a group's schedule is frozen (injected staleness or a
+        #: degradation cooldown): home handlers skip incremental recording
+        self._suppress_learning = False
+        #: deferred judgment of pre-sent copies: (dst, block) -> the schedule
+        #: that transferred it, pending until the copy is either accessed
+        #: (useful) or pre-sent again unconsumed (confirmed waste)
+        self._pending_judgment: dict[tuple[int, int], CommSchedule] = {}
+        machine.access_hooks.append(self._judge_access)
 
     # -- schedule access -----------------------------------------------------------
 
     def schedule_for(self, directive_id: int) -> CommSchedule:
-        sched = self.schedules.get(directive_id)
-        if sched is None:
-            sched = CommSchedule(directive_id)
-            self.schedules[directive_id] = sched
-        return sched
+        return self.schedules.fetch(directive_id)
 
     def flush_schedule(self, directive_id: int) -> None:
         """FLUSH_SCHEDULE directive: rebuild from empty (§3.3)."""
@@ -93,7 +126,8 @@ class PredictiveProtocol(StacheProtocol):
 
     def _handle(self, msg: Message, t: float) -> None:
         directive = self.machine.current_directive
-        if directive is not None and msg.kind in MK.REQUESTS:
+        if (directive is not None and msg.kind in MK.REQUESTS
+                and not self._suppress_learning):
             kind = "r" if msg.kind == MK.GET_RO else "w"
             self.schedule_for(directive).record(msg.block, msg.src, kind)
         super()._handle(msg, t)
@@ -108,6 +142,29 @@ class PredictiveProtocol(StacheProtocol):
             sched.flush()
         sched.begin_instance()
         self._presented.clear()
+        self._suppress_learning = False
+        if sched.wasted_streak >= self.degrade_patience:
+            sched.degrade(self.degrade_cooldown)
+            self.machine.stats.schedules_degraded += 1
+            self._pending_judgment = {
+                pair: owner for pair, owner in self._pending_judgment.items()
+                if owner is not sched
+            }
+        injector = self.machine.fault_injector
+        if injector is not None:
+            action = injector.schedule_fault(directive_id)
+            if action == "stale":
+                # The schedule stops tracking reality this instance: pre-send
+                # from it as-is, but record none of this instance's faults.
+                self._suppress_learning = True
+            elif action == "corrupt":
+                self._corrupt_schedule(sched)
+        if sched.cooldown > 0:
+            # Degraded: this phase group runs as plain Stache while the
+            # misprediction source (hopefully) passes.
+            sched.cooldown -= 1
+            self._suppress_learning = True
+            return None
         if not sched.entries:
             # Nothing learned yet (first execution, or just flushed): no
             # pre-send phase, so no pre-send barrier either.
@@ -132,30 +189,61 @@ class PredictiveProtocol(StacheProtocol):
                                         and entry.writer is None):
                         continue
                 if kind is EntryKind.READ:
-                    cursor = self._presend_read(node.id, entry, cursor, outgoing)
+                    cursor = self._presend_read(node.id, entry, cursor,
+                                                outgoing, sched)
                 else:
                     cursor = self._presend_write(node.id, entry, cursor, outgoing)
-            cursor = self._send_bulk(node.id, outgoing, cursor)
+            cursor = self._send_bulk(node.id, outgoing, cursor, sched)
             completions.append(cursor)
         return completions
 
     def end_group(self, directive_id: int, t: float) -> None:
         """Account pre-sent blocks the receiver never touched (redundant
-        transfers from untracked deletions or over-wide blocks)."""
+        transfers from untracked deletions or over-wide blocks), and fold
+        the outcome into the schedule's degradation tracking."""
+        presented = len(self._presented)
+        useless = 0
         for dst, block in self._presented:
             if not self.machine.was_accessed(dst, block):
                 self.machine.node(dst).stats.presend_useless_blocks += 1
+                useless += 1
         self._presented.clear()
+        self._suppress_learning = False
+        sched = self.schedules.get(directive_id)
+        if sched is not None:
+            sched.note_presend_outcome(presented, useless)
+            sched.fold_instance_judgment()
+
+    def _corrupt_schedule(self, sched: CommSchedule) -> None:
+        """Injected corruption: flip every entry's anticipated direction.
+
+        Deterministic, and only ever *mis-predicts* — the pre-send walk keeps
+        the directory consistent whatever the entries claim, so a corrupted
+        schedule costs useless transfers and re-faults, never coherence.
+        """
+        for entry in sched.entries.values():
+            if entry.kind is EntryKind.READ and entry.readers:
+                entry.kind = EntryKind.WRITE
+                entry.writer = min(entry.readers)
+            elif entry.kind is EntryKind.WRITE and entry.writer is not None:
+                entry.kind = EntryKind.READ
+                entry.readers.add(entry.writer)
 
     # -- pre-send actions per entry kind ------------------------------------------------
 
-    def _presend_read(self, home: int, entry, cursor: float, outgoing) -> float:
+    def _presend_read(self, home: int, entry, cursor: float, outgoing,
+                      sched: CommSchedule) -> float:
         """READ entry: recall any writer, forward RO copies to readers."""
         dentry = self.directory.entry(entry.block)
         if dentry.state in DirState.BUSY:
             raise ProtocolError(f"pre-send with busy directory entry {dentry}")
         if dentry.state == DirState.EXCLUSIVE:
             cursor = self._synchronous_recall(dentry, cursor)
+            # The recall is itself an anticipatory transfer — home regains a
+            # readable copy — so it enters deferred judgment like any other
+            # pre-sent block: a schedule whose only effect is bringing the
+            # block home before the home reads it is helping, not wasting.
+            self._register_presend(home, entry.block, sched)
         home_tags = self.machine.node(home).tags
         for reader in sorted(entry.readers):
             if reader == home:
@@ -229,7 +317,28 @@ class PredictiveProtocol(StacheProtocol):
         dentry.state = DirState.IDLE
         return cursor
 
-    def _send_bulk(self, home: int, outgoing, cursor: float) -> float:
+    def _register_presend(self, dst: int, block: int,
+                          sched: CommSchedule) -> None:
+        """Enter a transferred copy into deferred judgment.
+
+        Re-transferring a pair that is still pending means the earlier copy
+        was invalidated without ever being accessed — the one observation
+        that *confirms* a pre-send was wasted (an unconsumed copy that is
+        never invalidated costs nothing further and is left unjudged).
+        """
+        prev = self._pending_judgment.get((dst, block))
+        if prev is not None:
+            prev.note_waste()
+        self._pending_judgment[(dst, block)] = sched
+
+    def _judge_access(self, node: int, block: int, kind: str) -> None:
+        """machine.access_hooks observer: any access consumes a pending copy."""
+        sched = self._pending_judgment.pop((node, block), None)
+        if sched is not None:
+            sched.note_useful()
+
+    def _send_bulk(self, home: int, outgoing, cursor: float,
+                   sched: CommSchedule) -> float:
         """Coalesce per-destination blocks into runs; one bulk message each."""
         stats = self.machine.node(home).stats
         for (dst, tag), blocks in sorted(
@@ -257,6 +366,8 @@ class PredictiveProtocol(StacheProtocol):
                 self.presend_blocks += count
                 stats.presend_blocks_sent += count
                 self._presented.update((dst, b) for b in run)
+                for b in run:
+                    self._register_presend(dst, b, sched)
         return cursor
 
     # -- receiving pre-sent data ----------------------------------------------------------

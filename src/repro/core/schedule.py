@@ -20,12 +20,14 @@ until the schedule is explicitly flushed.
 from __future__ import annotations
 
 import enum
+from collections import OrderedDict
 from dataclasses import dataclass, field
 from typing import Callable, Iterator
 
 from repro.util.blocks import coalesce_blocks
 
-__all__ = ["EntryKind", "ScheduleEntry", "CommSchedule", "coalesce_blocks"]
+__all__ = ["EntryKind", "ScheduleEntry", "CommSchedule", "ScheduleStore",
+           "coalesce_blocks"]
 
 
 class EntryKind(enum.Enum):
@@ -71,6 +73,17 @@ class CommSchedule:
         # growth bookkeeping (for tests and the adaptive experiments)
         self.additions_per_instance: list[int] = []
         self._added_this_instance: int = 0
+        # degradation bookkeeping: EWMA of the per-instance useless-presend
+        # fraction (reporting), plus a streak of pre-sent copies confirmed
+        # wasted under deferred judgment (a copy is *wasted* only once it is
+        # re-pre-sent having never been accessed; *useful* the moment any
+        # access consumes it, in whichever later phase that happens)
+        self.mispredict_rate: float = 0.0
+        self.mispredict_samples: int = 0
+        self.wasted_streak: int = 0
+        self._wasted_this_instance: bool = False
+        #: instances left in which the protocol skips pre-send (plain Stache)
+        self.cooldown: int = 0
 
     # -- building ------------------------------------------------------------
 
@@ -113,8 +126,17 @@ class CommSchedule:
                     entry.kind = EntryKind.CONFLICT
             elif entry.kind is opposite:
                 # Pattern changed between iterations (e.g. migratory data):
-                # adopt the new kind.
-                entry.kind = EntryKind.READ if kind == "r" else EntryKind.WRITE
+                # adopt the new kind — asymmetrically.  A read over a WRITE
+                # entry always flips it to READ; a write over a READ entry
+                # flips it only when no *other* node is a recorded reader.
+                # Anticipating the write would invalidate those readers'
+                # copies and they would fault right back, so keeping the
+                # READ anticipation is never worse — and it stops an entry
+                # from flip-flopping READ<->WRITE forever when distinct
+                # phases under one directive alternate a producer and a
+                # consumer.
+                if kind == "r" or entry.readers <= {requester}:
+                    entry.kind = EntryKind.READ if kind == "r" else EntryKind.WRITE
         if kind == "r":
             entry.readers.add(requester)
         else:
@@ -127,6 +149,66 @@ class CommSchedule:
         self.entries.clear()
         self.additions_per_instance.append(self._added_this_instance)
         self._added_this_instance = 0
+
+    # -- degradation ----------------------------------------------------------
+
+    #: EWMA smoothing for the misprediction rate
+    EWMA_ALPHA = 0.5
+
+    def note_presend_outcome(self, presented: int, useless: int) -> None:
+        """Fold one instance's pre-send usefulness into the reporting EWMA.
+
+        An instance that pre-sent nothing carries no information and is
+        skipped.  This rate is instance-scoped — a copy unused within its own
+        group still counts against it — so it is kept for reporting only;
+        the degradation decision rests on the deferred-judgment streak
+        (:meth:`note_waste` / :meth:`note_useful`), which credits a copy
+        consumed in *any* later phase before it is invalidated.
+        """
+        if presented <= 0:
+            return
+        rate = useless / presented
+        if self.mispredict_samples == 0:
+            self.mispredict_rate = rate
+        else:
+            a = self.EWMA_ALPHA
+            self.mispredict_rate = a * rate + (1.0 - a) * self.mispredict_rate
+        self.mispredict_samples += 1
+
+    def note_waste(self) -> None:
+        """A pre-sent copy was confirmed wasted: it is being pre-sent again
+        (so it was invalidated) without ever having been accessed.
+
+        Wastes are folded into the streak once per instance
+        (:meth:`fold_instance_judgment`), so a single churny instance that
+        re-presents several copies cannot burn through the whole patience
+        budget by itself.
+        """
+        self._wasted_this_instance = True
+
+    def note_useful(self) -> None:
+        """A pre-sent copy was consumed — the schedule is earning its keep;
+        any confirmed-waste streak (and this instance's waste mark) ends
+        here."""
+        self.wasted_streak = 0
+        self._wasted_this_instance = False
+
+    def fold_instance_judgment(self) -> None:
+        """Close one instance's deferred judgment: an instance that confirmed
+        at least one waste and earned no usefulness extends the streak."""
+        if self._wasted_this_instance:
+            self.wasted_streak += 1
+            self._wasted_this_instance = False
+
+    def degrade(self, cooldown: int) -> None:
+        """Give up on this schedule: flush it and fall back to plain Stache
+        for ``cooldown`` instances before learning afresh."""
+        self.flush()
+        self.mispredict_rate = 0.0
+        self.mispredict_samples = 0
+        self.wasted_streak = 0
+        self._wasted_this_instance = False
+        self.cooldown = cooldown
 
     # -- queries --------------------------------------------------------------
 
@@ -148,3 +230,77 @@ class CommSchedule:
 
     def conflict_blocks(self) -> list[int]:
         return sorted(b for b, e in self.entries.items() if e.kind is EntryKind.CONFLICT)
+
+    def snapshot(self) -> dict[int, tuple]:
+        """A canonical, instance-independent view of the learned entries.
+
+        Two schedules that learned the same access history — e.g. one evicted
+        and rebuilt from scratch — snapshot identically even though their
+        instance counters differ.
+        """
+        return {
+            b: (e.kind, frozenset(e.readers), e.writer)
+            for b, e in self.entries.items()
+        }
+
+
+class ScheduleStore:
+    """Bounded, LRU-evicting home for a protocol's communication schedules.
+
+    Schedule memory on a real machine is finite; a long-running program with
+    many directive sites must not grow it without bound.  Eviction is safe by
+    construction — a schedule only *anticipates* communication, so losing one
+    merely costs first-execution faults while it is relearned (and
+    :meth:`CommSchedule.snapshot` lets tests check the relearned schedule is
+    identical).
+
+    Dict-flavoured reads (``in``, ``[]``, ``get``, ``values`` ...) do not
+    touch recency; :meth:`fetch` is the use-and-touch accessor.
+    """
+
+    def __init__(self, capacity: int = 64):
+        if capacity < 1:
+            raise ValueError(f"capacity must be >= 1, got {capacity}")
+        self.capacity = capacity
+        self._store: "OrderedDict[int, CommSchedule]" = OrderedDict()
+        self.evictions = 0
+
+    def fetch(self, directive_id: int) -> CommSchedule:
+        """Get-or-create the schedule for a directive; marks it used."""
+        sched = self._store.get(directive_id)
+        if sched is None:
+            sched = CommSchedule(directive_id)
+            self._store[directive_id] = sched
+            while len(self._store) > self.capacity:
+                self._store.popitem(last=False)
+                self.evictions += 1
+        else:
+            self._store.move_to_end(directive_id)
+        return sched
+
+    # -- read-only dict flavour ------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self._store)
+
+    def __contains__(self, directive_id: int) -> bool:
+        return directive_id in self._store
+
+    def __getitem__(self, directive_id: int) -> CommSchedule:
+        return self._store[directive_id]
+
+    def __iter__(self) -> Iterator[int]:
+        return iter(self._store)
+
+    def get(self, directive_id: int, default=None):
+        return self._store.get(directive_id, default)
+
+    def keys(self):
+        """Directive ids, least- to most-recently used."""
+        return self._store.keys()
+
+    def values(self):
+        return self._store.values()
+
+    def items(self):
+        return self._store.items()

@@ -1,0 +1,267 @@
+"""Fault campaigns: verify coherence survives every fault plan, and shrink
+the plans that break it.
+
+A campaign is the robustness mirror of :func:`repro.verify.fuzz.fuzz`: it
+runs workloads (generated fuzz sessions plus the bundled ``examples/traces``
+sessions) under each fault plan and protocol with the invariant monitor
+attached, cross-checks survivors against the trace-determined ground truth
+(the *fault-free* memory image — faults may slow a run down, never change
+what it computes), and expects the deliberately unrecoverable plan to fail
+fast with a structured :class:`~repro.util.errors.TransportTimeout`.
+
+A failing stochastic run is replayed through a **scripted** plan built from
+its recorded injection history, then minimized by :func:`shrink_events` —
+the fault-domain analogue of the tie-break schedule bisection in
+:func:`repro.verify.fuzz.shrink_schedule`.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Callable, Sequence
+
+from repro.faults.plan import BUNDLED_PLANS, UNRECOVERABLE_PLAN, FaultPlan
+from repro.tempest.tracefile import load_session
+from repro.util.config import MachineConfig
+from repro.util.errors import TransportTimeout
+from repro.verify.monitor import CoherenceViolation
+from repro.verify.oracle import Observables, differential_check, run_workload
+from repro.verify.workload import ALL_PROTOCOLS, Workload, generate_workload
+
+#: default location of the bundled sessions, relative to the repo root
+DEFAULT_TRACES_DIR = Path("examples/traces")
+
+
+@dataclass
+class FaultFailure:
+    """One workload x plan x protocol combination that broke."""
+
+    plan: str
+    protocol: str
+    workload: str
+    violation: CoherenceViolation
+    injected: int = 0
+    minimized_events: list | None = None
+    shrink_runs: int = 0
+
+    def report(self) -> str:
+        lines = [
+            f"[{self.plan} / {self.protocol} / {self.workload}] "
+            f"{self.injected} fault(s) injected:",
+            self.violation.report(),
+        ]
+        if self.minimized_events is not None:
+            lines.append(
+                f"  minimal reproducer: {len(self.minimized_events)} fault "
+                f"event(s) (shrunk in {self.shrink_runs} reruns):"
+            )
+            for ev in self.minimized_events:
+                lines.append(f"    - {ev.describe()}")
+        return "\n".join(lines)
+
+
+@dataclass
+class FaultCampaignReport:
+    """Aggregate outcome of one fault campaign."""
+
+    plans: int = 0
+    workloads: int = 0
+    runs: int = 0
+    failures: list[FaultFailure] = field(default_factory=list)
+    #: None = not checked; True = failed fast with full context as required
+    unrecoverable_ok: bool | None = None
+    elapsed: float = 0.0
+
+    @property
+    def ok(self) -> bool:
+        return not self.failures and self.unrecoverable_ok is not False
+
+    def summary(self) -> str:
+        lines = [
+            f"fault campaign: {self.plans} plan(s) x {self.workloads} "
+            f"workload(s), {self.runs} run(s) in {self.elapsed:.1f}s"
+        ]
+        if self.unrecoverable_ok is not None:
+            lines.append(
+                "unrecoverable plan: "
+                + ("failed fast with structured context (as required)"
+                   if self.unrecoverable_ok
+                   else "DID NOT fail as required")
+            )
+        if not self.failures:
+            lines.append("no coherence violations under any fault plan")
+        else:
+            lines.append(f"{len(self.failures)} FAILURE(S):")
+            for fail in self.failures:
+                lines.append(fail.report())
+        return "\n".join(lines)
+
+
+def shrink_events(
+    fails: Callable[[list], bool], events: Sequence, max_runs: int = 64
+) -> tuple[list | None, int]:
+    """Minimize a failing injection history (greedy delta debugging).
+
+    ``fails(subset)`` reruns the workload under a scripted plan containing
+    exactly ``subset`` and reports whether a violation reproduces.  Returns
+    ``(minimal_events, reruns)`` — or ``(None, reruns)`` when even the full
+    scripted history does not reproduce (a run the script cannot capture,
+    e.g. genuinely policy-dependent), in which case minimization is skipped.
+    """
+    events = list(events)
+    runs = 0
+
+    def check(subset: list) -> bool:
+        nonlocal runs
+        runs += 1
+        return fails(subset)
+
+    if not events or not check(events):
+        # empty history, or the scripted replay does not reproduce —
+        # nothing trustworthy to minimize
+        return None, runs
+    chunk = max(1, len(events) // 2)
+    while runs < max_runs:
+        i = 0
+        reduced = False
+        while i < len(events) and runs < max_runs:
+            candidate = events[:i] + events[i + chunk:]
+            if len(candidate) < len(events) and check(candidate):
+                events = candidate
+                reduced = True
+            else:
+                i += chunk
+        if not reduced and chunk == 1:
+            break
+        if not reduced:
+            chunk = max(1, chunk // 2)
+    return events, runs
+
+
+def _trace_workloads(traces_dir: Path) -> list[tuple[str, Workload]]:
+    out = []
+    for path in sorted(traces_dir.glob("*.trace")):
+        events, regions = load_session(path)
+        n_nodes = next(len(ev[1].ops) for ev in events if ev[0] == "phase")
+        cfg = MachineConfig(n_nodes=n_nodes, block_size=32, page_size=128)
+        out.append((path.name, Workload(
+            seed=-1, config=cfg, events=events, regions=regions,
+            protocols=tuple(ALL_PROTOCOLS),
+        )))
+    return out
+
+
+def _check_unrecoverable(workload: Workload, protocol: str) -> bool:
+    """The hopeless plan must fail fast with full structured context."""
+    try:
+        run_workload(workload, protocol, fault_plan=UNRECOVERABLE_PLAN)
+    except CoherenceViolation as violation:
+        cause = violation.__cause__
+        return (
+            violation.invariant == "transport-timeout"
+            and isinstance(cause, TransportTimeout)
+            and cause.node is not None
+            and cause.block is not None
+            and cause.event is not None
+        )
+    return False
+
+
+def run_campaign(
+    plans: dict[str, FaultPlan] | None = None,
+    seeds: int = 2,
+    protocols: Sequence[str] | None = None,
+    variants: int = 1,
+    traces_dir: str | Path | None = DEFAULT_TRACES_DIR,
+    shrink: bool = True,
+    check_unrecoverable: bool = True,
+    progress: Callable[[str], None] | None = None,
+) -> FaultCampaignReport:
+    """Run every (plan x workload x protocol) combination under the monitor.
+
+    ``variants`` reseeds each plan that many times per workload, multiplying
+    the distinct injection histories explored.  Survivors of each
+    (plan, workload) pair are cross-checked against the fault-free ground
+    truth via the differential oracle.
+    """
+    plans = plans if plans is not None else dict(BUNDLED_PLANS)
+    report = FaultCampaignReport(plans=len(plans))
+    t0 = time.perf_counter()
+
+    workloads: list[tuple[str, Workload]] = [
+        (f"seed{s}", generate_workload(s)) for s in range(seeds)
+    ]
+    if traces_dir is not None:
+        traces_dir = Path(traces_dir)
+        if traces_dir.is_dir():
+            workloads.extend(_trace_workloads(traces_dir))
+    report.workloads = len(workloads)
+
+    for w_index, (w_name, workload) in enumerate(workloads):
+        run_protocols = [
+            p for p in workload.protocols
+            if protocols is None or p in protocols
+        ]
+        for plan_name, base_plan in plans.items():
+            for variant in range(variants):
+                observed: dict[str, Observables] = {}
+                for p_index, protocol in enumerate(run_protocols):
+                    plan = base_plan.with_(
+                        seed=base_plan.seed + 7919 * w_index
+                        + 101 * variant + p_index
+                    )
+                    report.runs += 1
+                    try:
+                        observed[protocol] = run_workload(
+                            workload, protocol, fault_plan=plan
+                        )
+                    except CoherenceViolation as violation:
+                        fail = FaultFailure(
+                            plan=plan_name, protocol=protocol, workload=w_name,
+                            violation=violation,
+                            injected=len(getattr(violation, "fault_events", [])),
+                        )
+                        if shrink and getattr(violation, "fault_events", None):
+                            scripted = plan.as_scripted(violation.fault_events)
+
+                            def fails(subset, _w=workload, _p=protocol,
+                                      _s=scripted) -> bool:
+                                try:
+                                    run_workload(
+                                        _w, _p,
+                                        fault_plan=_s.with_(events=tuple(subset)),
+                                    )
+                                except CoherenceViolation:
+                                    return True
+                                return False
+
+                            fail.minimized_events, fail.shrink_runs = (
+                                shrink_events(fails, violation.fault_events)
+                            )
+                        report.failures.append(fail)
+                        if progress:
+                            progress(
+                                f"{plan_name}/{protocol}/{w_name}: FAILURE "
+                                f"({violation.invariant})"
+                            )
+                if observed:
+                    try:
+                        differential_check(workload, observed)
+                    except CoherenceViolation as violation:
+                        report.failures.append(FaultFailure(
+                            plan=plan_name, protocol=violation.protocol,
+                            workload=w_name, violation=violation,
+                        ))
+                        if progress:
+                            progress(f"{plan_name}/{w_name}: DIFFERENTIAL mismatch")
+        if progress:
+            progress(f"... workload {w_index + 1}/{len(workloads)} done")
+
+    if check_unrecoverable and workloads:
+        report.unrecoverable_ok = _check_unrecoverable(workloads[0][1], "stache")
+        report.runs += 1
+
+    report.elapsed = time.perf_counter() - t0
+    return report

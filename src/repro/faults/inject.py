@@ -1,0 +1,148 @@
+"""The fault injector: turns a :class:`~repro.faults.plan.FaultPlan` into
+per-event decisions.
+
+Decision points are consulted in deterministic engine order (message sends,
+handler services, pre-send group starts), so one seeded RNG makes the whole
+stochastic injection history a pure function of (plan, workload, protocol).
+Every fault actually injected is recorded as a content-keyed
+:class:`~repro.faults.plan.FaultEvent`; replaying those records through a
+*scripted* plan reproduces the run exactly, which is the basis for shrinking
+failures to minimal reproducers (:func:`repro.faults.campaign.shrink_events`).
+"""
+
+from __future__ import annotations
+
+import random
+from collections import defaultdict
+
+from repro.faults.plan import FaultEvent, FaultPlan
+from repro.faults.transport import TACK
+
+
+class FaultInjector:
+    """Stateful decision source attached to one machine for one run."""
+
+    def __init__(self, plan: FaultPlan):
+        self.plan = plan
+        self.scripted = plan.scripted
+        self.rng = random.Random(plan.seed)
+        #: every fault injected so far, in injection order
+        self.injected: list[FaultEvent] = []
+        # content-key bookkeeping (see FaultEvent docstring)
+        self._msg_occurrence: defaultdict[tuple, int] = defaultdict(int)
+        self._service_index: defaultdict[int, int] = defaultdict(int)
+        self._group_index: defaultdict[int, int] = defaultdict(int)
+        #: last message fault per channel seq, for TransportTimeout context
+        self._last_msg_fault: dict[tuple, FaultEvent] = {}
+        self._script: dict[tuple, FaultEvent] = {ev.key: ev for ev in plan.events}
+
+    # -- bookkeeping -----------------------------------------------------------
+
+    def _record(self, event: FaultEvent) -> FaultEvent:
+        self.injected.append(event)
+        if event.key[0] == "msg":
+            _, _kind, src, dst, seq, _resends, _nth = event.key
+            self._last_msg_fault[(src, dst, seq)] = event
+        return event
+
+    def has_scripted(self, action: str) -> bool:
+        return any(ev.action == action for ev in self.plan.events)
+
+    def last_fault_for(self, src: int, dst: int, seq: int | None):
+        """The most recent fault that hit channel (src, dst) seq ``seq``."""
+        return self._last_msg_fault.get((src, dst, seq))
+
+    # -- message sends ---------------------------------------------------------
+
+    def message_deliveries(self, msg) -> list[float]:
+        """Extra-delay per physical copy to deliver; ``[]`` means dropped.
+
+        ``[0.0]`` is the unperturbed single delivery; a duplicate adds a
+        second, slightly-late copy.  Called by :meth:`Network.send` once per
+        physical transmission (retransmissions consult it again, so a lossy
+        link stays lossy for retries).
+        """
+        base = ("msg", msg.kind, msg.src, msg.dst, msg.seq, msg.resends)
+        nth = self._msg_occurrence[base]
+        self._msg_occurrence[base] += 1
+        key = base + (nth,)
+        plan = self.plan
+        if msg.kind == TACK and not plan.ack_faults:
+            return [0.0]
+        if self.scripted:
+            ev = self._script.get(key)
+            if ev is None or ev.action not in ("drop", "dup", "delay"):
+                return [0.0]
+            self._record(ev)
+            if ev.action == "drop":
+                return []
+            if ev.action == "dup":
+                return [0.0, ev.amount]
+            return [ev.amount]
+        # stochastic: one roll decides at most one fault per transmission
+        roll = self.rng.random()
+        if roll < plan.drop_rate:
+            self._record(FaultEvent("drop", key))
+            return []
+        roll -= plan.drop_rate
+        if roll < plan.dup_rate:
+            self._record(FaultEvent("dup", key, amount=plan.delay_cycles))
+            return [0.0, plan.delay_cycles]
+        roll -= plan.dup_rate
+        if roll < plan.delay_rate:
+            self._record(FaultEvent("delay", key, amount=plan.delay_cycles))
+            return [plan.delay_cycles]
+        return [0.0]
+
+    # -- handler stalls --------------------------------------------------------
+
+    def stall_hook_for(self, node: int):
+        """A per-node closure for :attr:`repro.tempest.node.Node.stall_hook`."""
+
+        def stall() -> float:
+            idx = self._service_index[node]
+            self._service_index[node] += 1
+            key = ("stall", node, idx)
+            if self.scripted:
+                ev = self._script.get(key)
+                if ev is not None and ev.action == "stall":
+                    self._record(ev)
+                    return ev.amount
+                return 0.0
+            if self.rng.random() < self.plan.stall_rate:
+                self._record(FaultEvent("stall", key,
+                                        amount=self.plan.stall_cycles))
+                return self.plan.stall_cycles
+            return 0.0
+
+        return stall
+
+    # -- predictive-schedule faults --------------------------------------------
+
+    def schedule_fault(self, directive_id: int) -> str | None:
+        """Consulted once per pre-send group start; returns an action or None.
+
+        ``"corrupt"`` perturbs the schedule's predictions before the walk;
+        ``"stale"`` freezes it (no incremental updates this instance).  Both
+        only mis-*predict* — the protocol stays coherent regardless.
+        """
+        idx = self._group_index[directive_id]
+        self._group_index[directive_id] += 1
+        key = ("sched", directive_id, idx)
+        if self.scripted:
+            ev = self._script.get(key)
+            if ev is not None and ev.action in ("corrupt", "stale"):
+                self._record(ev)
+                return ev.action
+            return None
+        plan = self.plan
+        if plan.corrupt_rate == 0.0 and plan.stale_rate == 0.0:
+            return None
+        roll = self.rng.random()
+        if roll < plan.corrupt_rate:
+            self._record(FaultEvent("corrupt", key))
+            return "corrupt"
+        if roll < plan.corrupt_rate + plan.stale_rate:
+            self._record(FaultEvent("stale", key))
+            return "stale"
+        return None

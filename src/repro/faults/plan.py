@@ -1,0 +1,178 @@
+"""Fault plans: declarative, seeded descriptions of what to break.
+
+A :class:`FaultPlan` is immutable and fully describes a fault environment in
+one of two modes:
+
+* **stochastic** — per-event probabilities drawn from one seeded RNG in
+  deterministic engine order, so a (plan, workload, protocol) triple always
+  injects the same faults;
+* **scripted** — an explicit tuple of :class:`FaultEvent` records (and no
+  randomness at all).  Every stochastic run records exactly such a tuple,
+  which is what lets the campaign driver replay a failure and shrink it to
+  a minimal reproducer.
+
+The all-zero default plan is inert: :meth:`FaultPlan.is_active` is False and
+:meth:`repro.tempest.machine.Machine.install_fault_plan` installs nothing.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from dataclasses import dataclass
+
+from repro.util.errors import ConfigError
+
+#: event actions that perturb message delivery (need the reliable transport)
+MESSAGE_ACTIONS = frozenset({"drop", "dup", "delay"})
+#: event actions that perturb predictive schedules
+SCHEDULE_ACTIONS = frozenset({"corrupt", "stale"})
+ALL_ACTIONS = MESSAGE_ACTIONS | SCHEDULE_ACTIONS | {"stall"}
+
+
+@dataclass(frozen=True)
+class FaultEvent:
+    """One injected fault, keyed to where it struck.
+
+    Keys are *content-based* so scripted replays stay meaningful when other
+    events are removed during shrinking:
+
+    * message actions — ``("msg", kind, src, dst, seq, resends, occurrence)``
+    * ``stall`` — ``("stall", node, service_index)``
+    * ``corrupt`` / ``stale`` — ``("sched", directive_id, instance_index)``
+    """
+
+    action: str
+    key: tuple
+    amount: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.action not in ALL_ACTIONS:
+            raise ConfigError(f"unknown fault action {self.action!r}")
+
+    def describe(self) -> str:
+        if self.key and self.key[0] == "msg":
+            _, kind, src, dst, seq, resends, nth = self.key
+            where = f"{kind} {src}->{dst} seq={seq} try={resends}"
+            if nth:
+                where += f" #{nth}"
+        elif self.key and self.key[0] == "stall":
+            where = f"node {self.key[1]} service #{self.key[2]}"
+        else:
+            where = f"directive {self.key[1]} instance {self.key[2]}"
+        amt = f" +{self.amount:g}cy" if self.amount else ""
+        return f"{self.action}({where}){amt}"
+
+
+@dataclass(frozen=True)
+class FaultPlan:
+    """An immutable fault environment; see the module docstring for modes."""
+
+    name: str = "custom"
+    seed: int = 0
+    # stochastic per-event probabilities (ignored when ``events`` is set)
+    drop_rate: float = 0.0
+    dup_rate: float = 0.0
+    delay_rate: float = 0.0
+    stall_rate: float = 0.0
+    corrupt_rate: float = 0.0
+    stale_rate: float = 0.0
+    # fault magnitudes
+    delay_cycles: float = 256.0
+    stall_cycles: float = 512.0
+    # resilience budget
+    ack_faults: bool = True          # transport acks are themselves faultable
+    retry_timeout: float | None = None  # base RTO; None derives per message
+    timeout_budget: float = 400_000.0   # cycles before a send is declared dead
+    max_retries: int = 10
+    #: scripted mode: exactly these events fire, nothing else
+    events: tuple[FaultEvent, ...] = ()
+
+    def __post_init__(self) -> None:
+        for field in ("drop_rate", "dup_rate", "delay_rate", "stall_rate",
+                      "corrupt_rate", "stale_rate"):
+            v = getattr(self, field)
+            if not 0.0 <= v <= 1.0:
+                raise ConfigError(f"{field}={v} outside [0, 1]")
+        for field in ("delay_cycles", "stall_cycles", "timeout_budget"):
+            if getattr(self, field) < 0:
+                raise ConfigError(f"{field} must be non-negative")
+        if self.max_retries < 0:
+            raise ConfigError("max_retries must be non-negative")
+        if self.retry_timeout is not None and self.retry_timeout <= 0:
+            raise ConfigError("retry_timeout must be positive")
+        object.__setattr__(self, "events", tuple(self.events))
+
+    # -- modes and scope -------------------------------------------------------
+
+    @property
+    def scripted(self) -> bool:
+        return bool(self.events)
+
+    def is_active(self) -> bool:
+        """Whether installing this plan can perturb anything at all."""
+        if self.scripted:
+            return True
+        return any(
+            getattr(self, r) > 0.0
+            for r in ("drop_rate", "dup_rate", "delay_rate", "stall_rate",
+                      "corrupt_rate", "stale_rate")
+        )
+
+    def affects_messages(self) -> bool:
+        """Whether the reliable transport is needed under this plan."""
+        if self.scripted:
+            return any(ev.action in MESSAGE_ACTIONS for ev in self.events)
+        return self.drop_rate > 0 or self.dup_rate > 0 or self.delay_rate > 0
+
+    # -- derivation ------------------------------------------------------------
+
+    def with_(self, **overrides) -> "FaultPlan":
+        return dataclasses.replace(self, **overrides)
+
+    def as_scripted(self, events) -> "FaultPlan":
+        """The deterministic replay of one recorded injection history."""
+        return self.with_(
+            name=f"{self.name}[scripted]",
+            drop_rate=0.0, dup_rate=0.0, delay_rate=0.0,
+            stall_rate=0.0, corrupt_rate=0.0, stale_rate=0.0,
+            events=tuple(events),
+        )
+
+    def describe(self) -> str:
+        if self.scripted:
+            return (f"{self.name}: scripted, {len(self.events)} event(s): "
+                    + ", ".join(ev.describe() for ev in self.events[:6])
+                    + ("..." if len(self.events) > 6 else ""))
+        parts = []
+        for label, rate in [
+            ("drop", self.drop_rate), ("dup", self.dup_rate),
+            ("delay", self.delay_rate), ("stall", self.stall_rate),
+            ("corrupt", self.corrupt_rate), ("stale", self.stale_rate),
+        ]:
+            if rate > 0:
+                parts.append(f"{label}={rate:g}")
+        return f"{self.name}: seed={self.seed} " + (" ".join(parts) or "inert")
+
+
+#: the plans every release must survive (acceptance criteria in ISSUE 3):
+#: all examples/traces/ workloads complete under all three protocols with a
+#: clean invariant monitor and a fault-free memory image.
+BUNDLED_PLANS: dict[str, FaultPlan] = {
+    "drop": FaultPlan(name="drop", drop_rate=0.05),
+    "duplicate": FaultPlan(name="duplicate", dup_rate=0.10),
+    "delay": FaultPlan(name="delay", delay_rate=0.20, delay_cycles=400.0),
+    "stall": FaultPlan(name="stall", stall_rate=0.05, stall_cycles=600.0),
+    "stale-schedule": FaultPlan(name="stale-schedule", stale_rate=0.30,
+                                corrupt_rate=0.20),
+    "chaos": FaultPlan(name="chaos", drop_rate=0.02, dup_rate=0.03,
+                       delay_rate=0.05, delay_cycles=200.0,
+                       stall_rate=0.02, stall_cycles=300.0,
+                       stale_rate=0.10, corrupt_rate=0.05),
+}
+
+#: deliberately hopeless: every transmission is dropped and the budget is
+#: tiny, so the transport must fail *fast* with a structured TransportTimeout
+#: naming the node, block, and fault event — never hang.
+UNRECOVERABLE_PLAN = FaultPlan(
+    name="unrecoverable", drop_rate=1.0, timeout_budget=20_000.0, max_retries=3,
+)

@@ -49,7 +49,10 @@ class BaseProtocol(ProtocolStateMachine):
         """An access the local tag does not permit, vectored to the protocol."""
         node = proc.node.id
         if node in self.outstanding:
-            raise ProtocolError(f"node {node} faulted with a fault outstanding")
+            raise ProtocolError(
+                f"node {node} faulted with a fault outstanding",
+                node=node, block=block, time=t,
+            )
         self.outstanding[node] = (proc, block, kind)
         self.machine.stats.total_remote_requests += 1
         req = MK.GET_RO if kind == "r" else MK.GET_RW
@@ -92,7 +95,11 @@ class BaseProtocol(ProtocolStateMachine):
         if kind in MK.REQUESTS or kind in MK.HOLDER_TO_HOME:
             entry = self.directory.entry(msg.block)
             if entry.home != msg.dst:
-                raise ProtocolError(f"{msg} arrived at non-home node {msg.dst}")
+                raise ProtocolError(
+                    f"{msg} arrived at non-home node {msg.dst}",
+                    node=msg.dst, block=msg.block, time=t,
+                    message_repr=repr(msg),
+                )
             self.dispatch(entry, kind, msg, t)
             self._drain_pending(entry, t)
         elif kind == MK.INV:
@@ -106,7 +113,10 @@ class BaseProtocol(ProtocolStateMachine):
 
     def handle_extra(self, msg: Message, t: float) -> None:
         """Hook for protocol-specific message kinds."""
-        raise ProtocolError(f"{type(self).__name__} cannot handle {msg}")
+        raise ProtocolError(
+            f"{type(self).__name__} cannot handle {msg}",
+            node=msg.dst, block=msg.block, time=t, message_repr=repr(msg),
+        )
 
     # -- cache-side handlers -----------------------------------------------------------
 
@@ -137,7 +147,10 @@ class BaseProtocol(ProtocolStateMachine):
             if self._chasing_data(msg):
                 self._defer(msg)  # recall overtook the DATA_RW grant
                 return
-            raise ProtocolError(f"recall {msg} at non-owner {msg.dst}")
+            raise ProtocolError(
+                f"recall {msg} at non-owner {msg.dst}",
+                node=msg.dst, block=msg.block, time=t, message_repr=repr(msg),
+            )
         tags.invalidate(msg.block)
         self.send(
             Message(
@@ -179,18 +192,25 @@ class BaseProtocol(ProtocolStateMachine):
                 t,
             )
         else:  # pragma: no cover - defensive
-            raise ProtocolError(f"cannot defer {msg}")
+            raise ProtocolError(
+                f"cannot defer {msg}",
+                node=msg.dst, block=msg.block, time=t, message_repr=repr(msg),
+            )
 
     # -- processor resumption -------------------------------------------------------------
 
     def complete_fault(self, node: int, block: int, t: float) -> None:
         out = self.outstanding.pop(node, None)
         if out is None:
-            raise ProtocolError(f"data for node {node} with no outstanding fault")
+            raise ProtocolError(
+                f"data for node {node} with no outstanding fault",
+                node=node, block=block, time=t,
+            )
         proc, fault_block, _kind = out
         if fault_block != block:
             raise ProtocolError(
-                f"node {node} received block {block} while waiting on {fault_block}"
+                f"node {node} received block {block} while waiting on {fault_block}",
+                node=node, block=block, time=t,
             )
         proc.resume(t)
 
@@ -202,7 +222,10 @@ class BaseProtocol(ProtocolStateMachine):
         if requester == entry.home:
             # Local read grant: home regains (at least) read permission.
             if home_tags.get(entry.block) is AccessTag.INVALID:
-                raise ProtocolError(f"home read grant without data: {entry}")
+                raise ProtocolError(
+                    f"home read grant without data: {entry}",
+                    node=entry.home, block=entry.block, time=t,
+                )
             self.complete_fault(requester, entry.block, t)
         else:
             home_tags.downgrade(entry.block)

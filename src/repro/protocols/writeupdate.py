@@ -61,7 +61,10 @@ class WriteUpdateProtocol(BaseProtocol):
     def register_consumer(self, entry: DirEntry, msg: Message, t: float) -> None:
         """First read from a consumer: deliver data and register it."""
         if msg.src == entry.home:
-            raise ProtocolError(f"home {msg.src} read-faulted on its own block")
+            raise ProtocolError(
+                f"home {msg.src} read-faulted on its own block",
+                node=msg.src, block=entry.block, time=t, message_repr=repr(msg),
+            )
         entry.sharers.add(msg.src)
         entry.state = UPDATE_SHARED
         # Home keeps its READ_WRITE tag: updates do not invalidate.
@@ -81,7 +84,8 @@ class WriteUpdateProtocol(BaseProtocol):
     def reject_remote_write(self, entry: DirEntry, msg: Message, t: float) -> None:
         raise ProtocolError(
             f"write-update protocol requires producer-owned data; node "
-            f"{msg.src} wrote block {entry.block} homed at {entry.home}"
+            f"{msg.src} wrote block {entry.block} homed at {entry.home}",
+            node=msg.src, block=entry.block, time=t, message_repr=repr(msg),
         )
 
     # -- phase-end update push ------------------------------------------------------
@@ -102,7 +106,8 @@ class WriteUpdateProtocol(BaseProtocol):
             if entry.home != node:
                 raise ProtocolError(
                     f"node {node} wrote block {block} homed at {entry.home} "
-                    f"under write-update"
+                    f"under write-update",
+                    node=node, block=block,
                 )
             for consumer in entry.sharers:
                 pushes.setdefault(node, {}).setdefault(consumer, []).append(block)

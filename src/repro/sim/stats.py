@@ -44,6 +44,10 @@ class NodeStats:
     presend_useless_blocks: int = 0  # pre-sent but invalidated before any use
     messages_sent: int = 0
     bytes_sent: int = 0
+    # resilient-transport counters (all zero on the fault-free fast path)
+    transport_retries: int = 0       # retransmissions this node issued
+    transport_timeouts: int = 0      # sends that exhausted the retry budget
+    duplicates_suppressed: int = 0   # already-seen seqs discarded on arrival
 
     def add(self, category: TimeCategory, cycles: float) -> None:
         if cycles < 0:
@@ -86,6 +90,8 @@ class RunStats:
         self.phases: list[PhaseBreakdown] = []
         self.wall_time: float = 0.0
         self.total_remote_requests: int = 0
+        #: predictive schedules flushed for chronic misprediction (degradation)
+        self.schedules_degraded: int = 0
 
     # -- summaries ------------------------------------------------------------
 
@@ -125,6 +131,18 @@ class RunStats:
     def bytes_on_wire(self) -> int:
         return sum(n.bytes_sent for n in self.nodes)
 
+    @property
+    def transport_retries(self) -> int:
+        return sum(n.transport_retries for n in self.nodes)
+
+    @property
+    def transport_timeouts(self) -> int:
+        return sum(n.transport_timeouts for n in self.nodes)
+
+    @property
+    def duplicates_suppressed(self) -> int:
+        return sum(n.duplicates_suppressed for n in self.nodes)
+
     def check_conservation(self, tol: float = 1e-6) -> None:
         """Assert each node's category cycles sum to wall time.
 
@@ -154,4 +172,21 @@ class RunStats:
             ["local hit rate", self.hit_rate],
             ["remote misses", float(self.misses)],
             ["protocol messages", float(self.messages)],
-        ]
+        ] + self._resilience_rows()
+
+    def _resilience_rows(self) -> list[list[object]]:
+        """Transport/degradation rows, emitted only when nonzero.
+
+        Fault-free runs produce none of these events, so their summaries —
+        and the determinism fingerprints built from them — are unchanged.
+        """
+        rows: list[list[object]] = []
+        if self.transport_retries:
+            rows.append(["transport retries", float(self.transport_retries)])
+        if self.transport_timeouts:
+            rows.append(["transport timeouts", float(self.transport_timeouts)])
+        if self.duplicates_suppressed:
+            rows.append(["duplicates suppressed", float(self.duplicates_suppressed)])
+        if self.schedules_degraded:
+            rows.append(["schedules degraded", float(self.schedules_degraded)])
+        return rows

@@ -223,6 +223,9 @@ class Machine:
         #: observers called as ``hook(machine, trace)`` after each phase's
         #: barrier releases — the invariant monitor checks quiescence here
         self.phase_hooks: list = []
+        #: fault-injection state (None on the fault-free fast path)
+        self.fault_injector = None
+        self._transport = None
         self.protocol: CoherenceProtocolAPI = protocol_factory(self)
         self.network.attach(self._deliver)
 
@@ -235,12 +238,45 @@ class Machine:
         return self.nodes[i]
 
     def _deliver(self, msg: Message, t: float) -> None:
+        if self._transport is not None:
+            for accepted in self._transport.on_arrival(msg, t):
+                self._dispatch(accepted, t)
+        else:
+            self._dispatch(msg, t)
+
+    def _dispatch(self, msg: Message, t: float) -> None:
         self.nodes[msg.src].stats.messages_sent += 1
         self.nodes[msg.src].stats.bytes_sent += msg.payload_bytes
         self.protocol.on_message(msg, t)
 
     def send(self, msg: Message, at: float) -> float:
+        if self._transport is not None:
+            return self._transport.send(msg, at)
         return self.network.send(msg, at)
+
+    def install_fault_plan(self, plan) -> None:
+        """Arm a :class:`repro.faults.plan.FaultPlan` on this machine.
+
+        An inactive (all-zero) plan is a no-op: the injector, stall hooks,
+        and reliable transport are only installed when the plan can actually
+        perturb something, so fault-free runs take the unchanged fast path.
+        """
+        if plan is None or not plan.is_active():
+            return
+        # Imported lazily: repro.faults reuses the verify subsystem, which
+        # builds machines via core.factory — importing it at module scope
+        # would create a cycle.
+        from repro.faults.inject import FaultInjector
+        from repro.faults.transport import ReliableTransport
+
+        injector = FaultInjector(plan)
+        self.fault_injector = injector
+        if plan.affects_messages():
+            self.network.injector = injector
+            self._transport = ReliableTransport(self, injector)
+        if plan.stall_rate > 0.0 or injector.has_scripted("stall"):
+            for node in self.nodes:
+                node.stall_hook = injector.stall_hook_for(node.id)
 
     def note_access(self, node: int, block: int, kind: str) -> None:
         """Record that ``node`` touched ``block`` (pre-send usefulness and

@@ -7,6 +7,11 @@ blocks and transfers them using bulk messages to amortize message startup
 costs").  Delivery invokes the destination node's protocol dispatcher through
 the discrete-event engine; per-node handler occupancy is modelled by
 :class:`repro.tempest.node.Node`.
+
+Fault injection: an optional injector (see :mod:`repro.faults.inject`) may be
+attached as ``network.injector``.  Each physical transmission then consults it
+and may be dropped, duplicated, or delayed.  With no injector attached (the
+default) the send path is byte-for-byte the fault-free one.
 """
 
 from __future__ import annotations
@@ -18,8 +23,6 @@ from typing import Any, Callable
 from repro.sim.engine import Engine
 from repro.util.config import MachineConfig
 from repro.util.errors import SimulationError
-
-_msg_ids = itertools.count()
 
 
 @dataclass
@@ -34,23 +37,40 @@ class Message:
     #: free-form protocol fields (requester id, block lists, phase ids ...)
     info: dict[str, Any] = field(default_factory=dict)
     bulk: bool = False
-    msg_id: int = field(default_factory=lambda: next(_msg_ids))
+    #: per-network id, assigned on first (validated) send; -1 before that
+    msg_id: int = -1
     send_time: float = 0.0
+    #: reliable-transport channel sequence number (None outside fault runs)
+    seq: int | None = None
+    #: retransmission count (0 for the first transmission attempt)
+    resends: int = 0
 
     def __repr__(self) -> str:  # compact for trace dumps
         blk = f" blk={self.block}" if self.block is not None else ""
-        return f"<{self.kind} {self.src}->{self.dst}{blk} {self.payload_bytes}B>"
+        sq = f" seq={self.seq}" if self.seq is not None else ""
+        return f"<{self.kind} {self.src}->{self.dst}{blk}{sq} {self.payload_bytes}B>"
 
 
 class Network:
-    """Delivers messages with configurable latency and bandwidth costs."""
+    """Delivers messages with configurable latency and bandwidth costs.
+
+    Message ids are allocated per :class:`Network` instance (not from a
+    process-global counter), so two machines built in one process produce
+    identical traces — the same bug class as the directive-id counter fixed
+    in the C** placement pass.
+    """
 
     def __init__(self, engine: Engine, config: MachineConfig):
         self.engine = engine
         self.config = config
         self._deliver: Callable[[Message, float], None] | None = None
+        self._msg_ids = itertools.count()
         self.messages_delivered = 0
         self.bytes_delivered = 0
+        #: optional fault injector (repro.faults.inject.FaultInjector)
+        self.injector = None
+        self.messages_dropped = 0
+        self.messages_duplicated = 0
 
     def attach(self, deliver: Callable[[Message, float], None]) -> None:
         """Set the machine-level dispatcher invoked on each delivery."""
@@ -67,16 +87,39 @@ class Network:
 
         ``at`` may be in the engine's future (replay processors run ahead of
         the event clock between interactions), but never in its past.
+
+        With a fault injector attached the message may be dropped (no
+        delivery is scheduled), duplicated (several deliveries), or delayed;
+        the returned time is then the *nominal* fault-free arrival.
         """
         if self._deliver is None:
             raise SimulationError("network not attached to a machine")
         if msg.src == msg.dst:
-            raise SimulationError(f"self-send of {msg}")
+            raise SimulationError(f"self-send of {msg}",
+                                  node=msg.src, message_repr=repr(msg))
         n = self.config.n_nodes
         if not (0 <= msg.src < n and 0 <= msg.dst < n):
-            raise SimulationError(f"bad endpoints in {msg}")
+            raise SimulationError(f"bad endpoints in {msg}",
+                                  message_repr=repr(msg))
+        msg.msg_id = next(self._msg_ids)
         msg.send_time = at
-        arrival = at + self.flight_time(msg)
+        nominal = at + self.flight_time(msg)
+
+        if self.injector is not None:
+            deliveries = self.injector.message_deliveries(msg)
+            if not deliveries:
+                self.messages_dropped += 1
+                return nominal
+            if len(deliveries) > 1:
+                self.messages_duplicated += len(deliveries) - 1
+            for extra in deliveries:
+                self._schedule_delivery(msg, nominal + extra)
+            return nominal
+
+        self._schedule_delivery(msg, nominal)
+        return nominal
+
+    def _schedule_delivery(self, msg: Message, arrival: float) -> None:
         self.messages_delivered += 1
         self.bytes_delivered += msg.payload_bytes
 
@@ -84,4 +127,3 @@ class Network:
             self._deliver(msg, arrival)
 
         self.engine.schedule(arrival, _arrive)
-        return arrival

@@ -23,12 +23,18 @@ class Node:
         self.stats = stats if stats is not None else NodeStats(node_id)
         #: time until which the protocol-handler resource is busy
         self.handler_busy_until: float = 0.0
+        #: optional fault hook: () -> extra cycles for the next handler service
+        self.stall_hook = None
 
     def service_handler(self, arrival: float, cost: float) -> float:
         """Occupy the handler resource for ``cost`` cycles; FIFO service.
 
         Returns the completion time (when the handler's effects take place).
+        A fault-injection ``stall_hook``, when attached, may lengthen any
+        individual service to model a slow or wedged protocol processor.
         """
+        if self.stall_hook is not None:
+            cost += self.stall_hook()
         start = max(arrival, self.handler_busy_until)
         done = start + cost
         self.handler_busy_until = done

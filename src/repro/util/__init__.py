@@ -11,6 +11,8 @@ from repro.util.errors import (
     ConfigError,
     ProtocolError,
     SimulationError,
+    StructuredError,
+    TransportTimeout,
     CompileError,
 )
 from repro.util.bitvec import BitVector
@@ -23,6 +25,8 @@ __all__ = [
     "ConfigError",
     "ProtocolError",
     "SimulationError",
+    "StructuredError",
+    "TransportTimeout",
     "CompileError",
     "BitVector",
     "format_table",

@@ -2,6 +2,11 @@
 
 Every error raised intentionally by the library derives from
 :class:`ReproError`, so callers can catch one type at an API boundary.
+
+Simulation-side errors carry optional *structured context* — the node, the
+simulated time, and a compact repr of the message being processed — so a
+failure deep inside a fault-injection campaign is diagnosable from the error
+object alone, without re-running the campaign.
 """
 
 from __future__ import annotations
@@ -15,17 +20,74 @@ class ConfigError(ReproError):
     """An invalid :class:`repro.util.config.MachineConfig` or run parameter."""
 
 
-class SimulationError(ReproError):
+class StructuredError(ReproError):
+    """A runtime error with optional simulation context attached.
+
+    All keyword fields are optional and default to None; a plain
+    ``StructuredError("message")`` behaves exactly like before structured
+    context existed.  When context is supplied it is appended to the string
+    form as ``[node=…, t=…, block=…, msg=…, event=…]`` and kept on the
+    instance for programmatic inspection (fault campaigns report these
+    fields instead of asking users to re-run).
+    """
+
+    def __init__(self, message: str, *, node: int | None = None,
+                 time: float | None = None, block: int | None = None,
+                 message_repr: str | None = None, event: object = None):
+        self.node = node
+        self.time = time
+        self.block = block
+        self.message_repr = message_repr
+        self.event = event
+        super().__init__(message + self.context_suffix())
+
+    def context_suffix(self) -> str:
+        parts = []
+        if self.node is not None:
+            parts.append(f"node={self.node}")
+        if self.time is not None:
+            parts.append(f"t={self.time:g}")
+        if self.block is not None:
+            parts.append(f"block={self.block}")
+        if self.message_repr is not None:
+            parts.append(f"msg={self.message_repr}")
+        if self.event is not None:
+            parts.append(f"event={self.event}")
+        return f" [{', '.join(parts)}]" if parts else ""
+
+    def context(self) -> dict:
+        """The attached context as a dict (None values omitted)."""
+        fields = {
+            "node": self.node,
+            "time": self.time,
+            "block": self.block,
+            "message": self.message_repr,
+            "event": self.event,
+        }
+        return {k: v for k, v in fields.items() if v is not None}
+
+
+class SimulationError(StructuredError):
     """The discrete-event simulation reached an inconsistent state."""
 
 
-class ProtocolError(ReproError):
+class ProtocolError(StructuredError):
     """A coherence protocol observed an illegal state/message combination.
 
     Raised by the teapot dispatcher when a message arrives for which the
     current (directory or cache) state defines no transition.  In a correct
     protocol this never fires; tests assert both that legal traces never
     raise it and that deliberately-corrupted traces do.
+    """
+
+
+class TransportTimeout(SimulationError):
+    """The reliable transport exhausted its retry/timeout budget.
+
+    Raised when a message could not be delivered and acknowledged within
+    the fault plan's budget — the structured context names the unreachable
+    node, the block in flight, and the fault event that doomed the message,
+    so an unrecoverable fault plan fails fast instead of hanging.
     """
 
 

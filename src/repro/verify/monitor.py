@@ -151,6 +151,16 @@ class InvariantMonitor:
         if deferred:
             self._raise(machine, phase, "quiescence",
                         f"deferred cache messages never serviced: {sorted(deferred)}")
+        transport = getattr(machine, "_transport", None)
+        if transport is not None:
+            if transport.unacked:
+                self._raise(machine, phase, "quiescence",
+                            f"{transport.unacked} transport send(s) still "
+                            f"unacknowledged at the barrier")
+            if transport.held_back:
+                self._raise(machine, phase, "quiescence",
+                            f"{transport.held_back} out-of-order message(s) "
+                            f"still held back at the barrier")
         directory = getattr(machine.protocol, "directory", None)
         if directory is None:
             return

@@ -23,7 +23,7 @@ from dataclasses import dataclass, field
 from repro.core.factory import make_machine
 from repro.sim.stats import RunStats
 from repro.tempest.tracefile import replay_session
-from repro.util.errors import ProtocolError, SimulationError
+from repro.util.errors import ProtocolError, SimulationError, TransportTimeout
 from repro.verify.interleave import ExplorerEngine, FifoPolicy, TieBreakPolicy
 from repro.verify.monitor import CoherenceViolation, InvariantMonitor
 from repro.verify.workload import Workload, expected_observables
@@ -38,6 +38,8 @@ class Observables:
     writers: dict[int, set[int]] = field(default_factory=dict)
     image: dict[int, tuple[int, int]] = field(default_factory=dict)
     stats: RunStats | None = None
+    #: faults actually injected during the run (empty without a fault plan)
+    fault_events: list = field(default_factory=list)
 
     def record(self, node: int, block: int, kind: str) -> None:
         if kind == "r":
@@ -53,31 +55,51 @@ def run_workload(
     protocol: str,
     policy: TieBreakPolicy | None = None,
     max_events: int | None = 2_000_000,
+    fault_plan=None,
 ) -> Observables:
     """Replay ``workload`` under ``protocol`` with policy-driven tie-breaks.
 
-    Raises :class:`CoherenceViolation` on any invariant failure, protocol
-    error, or deadlock, with the seed and schedule attached for replay.
+    ``fault_plan`` optionally arms a :class:`repro.faults.plan.FaultPlan` on
+    the machine (see :meth:`Machine.install_fault_plan`); an inactive plan
+    changes nothing.  Raises :class:`CoherenceViolation` on any invariant
+    failure, protocol error, transport timeout, or deadlock, with the seed,
+    schedule, and injected fault events attached for replay.
     """
     policy = policy if policy is not None else FifoPolicy()
     engine = ExplorerEngine(policy, default_max_events=max_events)
     machine = make_machine(workload.config, protocol, engine=engine)
+    if fault_plan is not None:
+        machine.install_fault_plan(fault_plan)
     monitor = InvariantMonitor(seed=workload.seed, policy=policy)
     monitor.attach(machine)
     obs = Observables(protocol=protocol)
     machine.access_hooks.append(obs.record)
+
+    def injected() -> list:
+        inj = machine.fault_injector
+        return list(inj.injected) if inj is not None else []
+
     try:
         obs.stats = replay_session(workload.session, machine)
         monitor.check(machine, phase="end-of-run")
-    except CoherenceViolation:
+    except CoherenceViolation as violation:
+        violation.fault_events = injected()
         raise
     except (ProtocolError, SimulationError) as exc:
-        invariant = "deadlock" if "deadlock" in str(exc) else "protocol-error"
-        raise CoherenceViolation(
+        if isinstance(exc, TransportTimeout):
+            invariant = "transport-timeout"
+        elif "deadlock" in str(exc):
+            invariant = "deadlock"
+        else:
+            invariant = "protocol-error"
+        violation = CoherenceViolation(
             invariant, str(exc),
             protocol=protocol, phase="(during run)",
             seed=workload.seed, schedule=list(policy.choices),
-        ) from exc
+        )
+        violation.fault_events = injected()
+        raise violation from exc
+    obs.fault_events = injected()
     return obs
 
 

@@ -1,0 +1,115 @@
+"""Tests for the FaultInjector: determinism, scripted lookup, bookkeeping."""
+
+from repro.faults import FaultInjector, FaultPlan
+from repro.faults.plan import FaultEvent
+from repro.tempest.network import Message
+
+
+def _msg(kind="GET_RO", src=0, dst=1, seq=0, resends=0):
+    m = Message(kind, src, dst)
+    m.seq = seq
+    m.resends = resends
+    return m
+
+
+class TestDeterminism:
+    def test_same_seed_same_history(self):
+        decisions = []
+        for _ in range(2):
+            inj = FaultInjector(FaultPlan(drop_rate=0.3, dup_rate=0.3, seed=42))
+            decisions.append([
+                tuple(inj.message_deliveries(_msg(seq=i))) for i in range(50)
+            ])
+        assert decisions[0] == decisions[1]
+
+    def test_different_seed_different_history(self):
+        runs = []
+        for seed in (1, 2):
+            inj = FaultInjector(FaultPlan(drop_rate=0.5, seed=seed))
+            runs.append([
+                tuple(inj.message_deliveries(_msg(seq=i))) for i in range(50)
+            ])
+        assert runs[0] != runs[1]
+
+    def test_injected_events_are_replayable_keys(self):
+        inj = FaultInjector(FaultPlan(drop_rate=0.4, seed=3))
+        outcomes = [inj.message_deliveries(_msg(seq=i)) for i in range(40)]
+        dropped = [i for i, out in enumerate(outcomes) if out == []]
+        assert dropped, "rate 0.4 over 40 sends must drop something"
+        # replay exactly the recorded events through a scripted injector
+        replay = FaultInjector(FaultPlan(drop_rate=0.4, seed=3).as_scripted(
+            inj.injected))
+        replayed = [replay.message_deliveries(_msg(seq=i)) for i in range(40)]
+        assert replayed == outcomes
+
+
+class TestSemantics:
+    def test_zero_rates_never_perturb(self):
+        inj = FaultInjector(FaultPlan(seed=9))
+        assert all(
+            inj.message_deliveries(_msg(seq=i)) == [0.0] for i in range(20)
+        )
+        assert inj.injected == []
+
+    def test_drop_returns_no_deliveries(self):
+        inj = FaultInjector(FaultPlan(drop_rate=1.0))
+        assert inj.message_deliveries(_msg()) == []
+        assert inj.injected[0].action == "drop"
+
+    def test_dup_returns_two_deliveries(self):
+        inj = FaultInjector(FaultPlan(dup_rate=1.0, delay_cycles=100.0))
+        assert inj.message_deliveries(_msg()) == [0.0, 100.0]
+
+    def test_delay_returns_late_delivery(self):
+        inj = FaultInjector(FaultPlan(delay_rate=1.0, delay_cycles=300.0))
+        assert inj.message_deliveries(_msg()) == [300.0]
+
+    def test_ack_faults_off_shields_tack(self):
+        from repro.faults.transport import TACK
+
+        inj = FaultInjector(FaultPlan(drop_rate=1.0, ack_faults=False))
+        assert inj.message_deliveries(_msg(kind=TACK)) == [0.0]
+        assert inj.message_deliveries(_msg(kind="GET_RO")) == []
+
+    def test_retransmissions_rolled_independently(self):
+        # occurrence/resends are part of the key, so a scripted plan can hit
+        # the first transmission and spare the retry
+        ev = FaultEvent("drop", ("msg", "GET_RO", 0, 1, 0, 0, 0))
+        inj = FaultInjector(FaultPlan(events=(ev,)))
+        assert inj.message_deliveries(_msg(seq=0, resends=0)) == []
+        assert inj.message_deliveries(_msg(seq=0, resends=1)) == [0.0]
+
+    def test_last_fault_for_channel(self):
+        inj = FaultInjector(FaultPlan(drop_rate=1.0))
+        inj.message_deliveries(_msg(src=2, dst=0, seq=5))
+        ev = inj.last_fault_for(2, 0, 5)
+        assert ev is not None and ev.action == "drop"
+        assert inj.last_fault_for(0, 2, 5) is None
+
+
+class TestStallHook:
+    def test_stall_hook_deterministic_per_node(self):
+        plan = FaultPlan(stall_rate=0.5, stall_cycles=600.0, seed=11)
+        a = FaultInjector(plan).stall_hook_for(0)
+        b = FaultInjector(plan).stall_hook_for(0)
+        assert [a() for _ in range(30)] == [b() for _ in range(30)]
+
+    def test_scripted_stall_fires_at_exact_service(self):
+        ev = FaultEvent("stall", ("stall", 1, 2), amount=500.0)
+        hook = FaultInjector(FaultPlan(events=(ev,))).stall_hook_for(1)
+        assert [hook() for _ in range(4)] == [0.0, 0.0, 500.0, 0.0]
+
+
+class TestScheduleFaults:
+    def test_scripted_schedule_fault(self):
+        events = (FaultEvent("stale", ("sched", 7, 1)),
+                  FaultEvent("corrupt", ("sched", 7, 3)))
+        inj = FaultInjector(FaultPlan(events=events))
+        assert [inj.schedule_fault(7) for _ in range(5)] == [
+            None, "stale", None, "corrupt", None]
+
+    def test_stochastic_schedule_fault_rates(self):
+        inj = FaultInjector(FaultPlan(corrupt_rate=1.0))
+        assert inj.schedule_fault(1) == "corrupt"
+        inj = FaultInjector(FaultPlan(stale_rate=1.0))
+        assert inj.schedule_fault(1) == "stale"

@@ -1,0 +1,101 @@
+"""Tests for FaultPlan/FaultEvent: validation, modes, derivation."""
+
+import pytest
+
+from repro.faults import BUNDLED_PLANS, UNRECOVERABLE_PLAN, FaultPlan
+from repro.faults.plan import FaultEvent
+from repro.util import ConfigError
+
+
+class TestValidation:
+    @pytest.mark.parametrize("field", [
+        "drop_rate", "dup_rate", "delay_rate", "stall_rate",
+        "corrupt_rate", "stale_rate",
+    ])
+    def test_rates_bounded(self, field):
+        with pytest.raises(ConfigError):
+            FaultPlan(**{field: 1.5})
+        with pytest.raises(ConfigError):
+            FaultPlan(**{field: -0.1})
+
+    def test_negative_magnitudes_rejected(self):
+        with pytest.raises(ConfigError):
+            FaultPlan(delay_cycles=-1)
+        with pytest.raises(ConfigError):
+            FaultPlan(timeout_budget=-1)
+        with pytest.raises(ConfigError):
+            FaultPlan(max_retries=-1)
+        with pytest.raises(ConfigError):
+            FaultPlan(retry_timeout=0.0)
+
+    def test_unknown_event_action_rejected(self):
+        with pytest.raises(ConfigError):
+            FaultEvent("explode", ("msg",))
+
+    def test_plan_is_immutable(self):
+        plan = FaultPlan(drop_rate=0.1)
+        with pytest.raises(Exception):
+            plan.drop_rate = 0.5
+
+
+class TestModes:
+    def test_zero_plan_is_inert(self):
+        plan = FaultPlan()
+        assert not plan.is_active()
+        assert not plan.affects_messages()
+        assert not plan.scripted
+
+    def test_stall_only_plan_leaves_messages_alone(self):
+        plan = FaultPlan(stall_rate=0.5)
+        assert plan.is_active()
+        assert not plan.affects_messages()
+
+    def test_scripted_plan_is_active(self):
+        ev = FaultEvent("drop", ("msg", "GET_RO", 0, 1, 0, 0, 0))
+        plan = FaultPlan(events=(ev,))
+        assert plan.scripted and plan.is_active() and plan.affects_messages()
+
+    def test_scripted_schedule_only_needs_no_transport(self):
+        ev = FaultEvent("stale", ("sched", 1, 0))
+        plan = FaultPlan(events=(ev,))
+        assert plan.is_active()
+        assert not plan.affects_messages()
+
+    def test_as_scripted_zeroes_rates(self):
+        plan = FaultPlan(name="p", drop_rate=0.3, stall_rate=0.2, seed=7)
+        ev = FaultEvent("drop", ("msg", "GET_RO", 0, 1, 0, 0, 0))
+        scripted = plan.as_scripted([ev])
+        assert scripted.scripted
+        assert scripted.drop_rate == 0.0 and scripted.stall_rate == 0.0
+        assert scripted.events == (ev,)
+        assert scripted.seed == 7  # budget/seed settings survive
+
+    def test_with_replaces(self):
+        plan = FaultPlan(drop_rate=0.1)
+        assert plan.with_(seed=3).seed == 3
+        assert plan.with_(seed=3).drop_rate == 0.1
+
+
+class TestDescribe:
+    def test_event_describe_mentions_site(self):
+        ev = FaultEvent("drop", ("msg", "GET_RO", 1, 0, 4, 2, 0))
+        s = ev.describe()
+        assert "GET_RO" in s and "1->0" in s and "seq=4" in s
+
+    def test_stall_describe(self):
+        assert "node 2" in FaultEvent("stall", ("stall", 2, 5), 600).describe()
+
+    def test_plan_describe_lists_rates(self):
+        s = FaultPlan(name="x", drop_rate=0.05, stall_rate=0.1).describe()
+        assert "drop=0.05" in s and "stall=0.1" in s
+
+
+class TestBundled:
+    def test_all_bundled_plans_valid_and_active(self):
+        for name, plan in BUNDLED_PLANS.items():
+            assert plan.name == name
+            assert plan.is_active()
+
+    def test_unrecoverable_drops_everything_fast(self):
+        assert UNRECOVERABLE_PLAN.drop_rate == 1.0
+        assert UNRECOVERABLE_PLAN.timeout_budget < 100_000

@@ -131,16 +131,28 @@ class TestPredictiveProperties:
     @settings(max_examples=40, deadline=None,
               suppress_health_check=[HealthCheck.too_slow])
     def test_repeating_workload_converges(self, workload):
-        """Replaying the same conflict-free workload twice more must not
-        increase the per-replay miss count (schedules only help)."""
+        """After one warm-up replay, repeating the same conflict-free
+        workload must not increase the per-replay miss count (schedules
+        only help).
+
+        The cold replay is excluded from the comparison: it starts from the
+        allocation state, where the home owns every block, so a home access
+        that hits for free there can legitimately miss on the next replay
+        once a remote writer has taken the block — and schedules learn only
+        from faults (test_hits_not_recorded), so nothing can anticipate an
+        access that has never faulted.  One warm-up replay surfaces every
+        such access; from there on, convergence must be monotone.
+        """
         workload = self._drop_conflicts(workload)
         m, first = build_machine("predictive")
+        run_workload(m, first, workload, directives=True)  # cold start
+        warmup = m.stats.misses
         run_workload(m, first, workload, directives=True)
-        first_misses = m.stats.misses
+        first_misses = m.stats.misses - warmup
         run_workload(m, first, workload, directives=True)
-        second = m.stats.misses - first_misses
+        second = m.stats.misses - warmup - first_misses
         run_workload(m, first, workload, directives=True)
-        third = m.stats.misses - first_misses - second
+        third = m.stats.misses - warmup - first_misses - second
         assert third <= second <= first_misses
 
     @given(workload_strategy)

@@ -82,6 +82,71 @@ class TestDelivery:
         assert [m.info["i"] for m, _ in delivered] == list(range(5))
 
 
+class TestSendEdgeCases:
+    def test_self_send_error_carries_context(self, net):
+        _, n, _ = net
+        with pytest.raises(SimulationError) as e:
+            n.send(Message("GET_RO", 2, 2), at=0.0)
+        assert e.value.node == 2
+        assert "GET_RO" in (e.value.message_repr or "")
+
+    def test_bad_endpoint_error_names_message(self, net):
+        _, n, _ = net
+        with pytest.raises(SimulationError) as e:
+            n.send(Message("GET_RO", 0, 9), at=0.0)
+        assert "GET_RO" in (e.value.message_repr or "")
+
+    def test_negative_src_rejected(self, net):
+        _, n, _ = net
+        with pytest.raises(SimulationError):
+            n.send(Message("GET_RO", -1, 1), at=0.0)
+
+    def test_msg_ids_are_per_instance(self):
+        cfg = MachineConfig(n_nodes=2)
+        eng = Engine()
+        a, b = Network(eng, cfg), Network(eng, cfg)
+        a.attach(lambda m, t: None)
+        b.attach(lambda m, t: None)
+        m1 = Message("GET_RO", 0, 1)
+        m2 = Message("GET_RO", 0, 1)
+        a.send(m1, at=0.0)
+        b.send(m2, at=0.0)
+        # independent networks assign independent id streams
+        assert m1.msg_id == m2.msg_id == 0
+
+    def test_rejected_send_assigns_no_id(self, net):
+        _, n, _ = net
+        bad = Message("GET_RO", 2, 2)
+        with pytest.raises(SimulationError):
+            n.send(bad, at=0.0)
+        assert bad.msg_id == -1
+        ok = Message("GET_RO", 0, 1)
+        n.send(ok, at=0.0)
+        assert ok.msg_id == 0
+
+    def test_injector_can_drop(self, net):
+        eng, n, delivered = net
+        class Drop:
+            def message_deliveries(self, msg):
+                return []
+        n.injector = Drop()
+        n.send(Message("GET_RO", 0, 1), at=0.0)
+        eng.run()
+        assert delivered == []
+        assert n.messages_delivered == 0
+
+    def test_injector_can_duplicate_and_delay(self, net):
+        eng, n, delivered = net
+        class Dup:
+            def message_deliveries(self, msg):
+                return [0.0, 250.0]
+        n.injector = Dup()
+        n.send(Message("GET_RO", 0, 1), at=0.0)
+        eng.run()
+        assert [t for _, t in delivered] == [100.0, 350.0]
+        assert n.messages_delivered == 2
+
+
 class TestNodeOccupancy:
     def test_handler_fifo(self):
         from repro.tempest import Node

@@ -9,6 +9,8 @@ from repro.util import (
     ProtocolError,
     ReproError,
     SimulationError,
+    StructuredError,
+    TransportTimeout,
 )
 
 
@@ -38,6 +40,38 @@ class TestErrorHierarchy:
         e = CompileError("plain")
         assert str(e) == "plain"
         assert e.line is None
+
+
+class TestStructuredContext:
+    @pytest.mark.parametrize(
+        "exc", [ProtocolError, SimulationError, TransportTimeout]
+    )
+    def test_structured_kwargs_appear_in_message(self, exc):
+        e = exc("stuck", node=3, time=125.0, block=16,
+                message_repr="<GET_RO 2->3 blk=16>")
+        assert issubclass(exc, StructuredError)
+        assert e.node == 3 and e.block == 16 and e.time == 125.0
+        s = str(e)
+        assert "node=3" in s and "block=16" in s and "t=125" in s
+        assert "GET_RO" in s
+
+    def test_plain_message_unchanged_without_context(self):
+        e = ProtocolError("boom")
+        assert str(e) == "boom"
+        assert e.node is None and e.block is None
+
+    def test_context_dict_holds_only_set_fields(self):
+        e = SimulationError("x", node=1)
+        ctx = e.context()
+        assert ctx == {"node": 1}
+
+    def test_transport_timeout_is_simulation_error(self):
+        assert issubclass(TransportTimeout, SimulationError)
+
+    def test_event_context(self):
+        e = TransportTimeout("gave up", node=2, event="drop GET_RO #4")
+        assert "drop GET_RO #4" in str(e)
+        assert e.event == "drop GET_RO #4"
 
 
 class TestPackageSurface:
