@@ -27,14 +27,17 @@ Commands
     workloads exhaustively (bounded DFS).  Violations print a minimized,
     seed-replayable counterexample.
 
-``faults [--plans P,Q] [--seeds N] [--variants N] [--list-plans]``
+``faults [--plans P,Q] [--crash] [--seeds N] [--variants N] [--list-plans]``
     Run the fault-injection campaign: every bundled fault plan (message
     drops, duplicates, delays, handler stalls, schedule staleness and
     corruption) against generated workloads and the bundled traces, under
-    the invariant monitor and differential oracle.  A failing stochastic
-    run is replayed through a scripted plan and shrunk to a minimal fault
-    reproducer.  Also checks the deliberately unrecoverable plan fails
-    fast with structured context.
+    the invariant monitor and differential oracle.  ``--crash`` selects the
+    crash-stop plans instead (node failures with detection, coherence-state
+    recovery, and restart).  A failing stochastic run is replayed through a
+    scripted plan and shrunk to a minimal fault reproducer;
+    ``--dump-scripts DIR`` archives each reproducer as replayable JSON.
+    Also checks the deliberately unrecoverable plan fails fast with
+    structured context.
 """
 
 from __future__ import annotations
@@ -266,22 +269,26 @@ def _cmd_verify(args: argparse.Namespace) -> int:
 
 
 def _cmd_faults(args: argparse.Namespace) -> int:
-    from repro.faults import BUNDLED_PLANS, run_campaign
+    from repro.faults import BUNDLED_PLANS, CRASH_PLANS, run_campaign
     from repro.verify import ALL_PROTOCOLS
 
+    registry = {**BUNDLED_PLANS, **CRASH_PLANS}
     if args.list_plans:
-        for name, plan in BUNDLED_PLANS.items():
+        for name, plan in registry.items():
             print(f"{name:16s} {plan.describe()}")
         return 0
 
     plans = None
+    if args.crash:
+        plans = dict(CRASH_PLANS)
     if args.plans:
-        unknown = set(args.plans.split(",")) - set(BUNDLED_PLANS)
+        unknown = set(args.plans.split(",")) - set(registry)
         if unknown:
             print(f"error: unknown plan(s) {sorted(unknown)}; "
-                  f"available: {list(BUNDLED_PLANS)}", file=sys.stderr)
+                  f"available: {list(registry)}", file=sys.stderr)
             return 2
-        plans = {name: BUNDLED_PLANS[name] for name in args.plans.split(",")}
+        plans = {**(plans or {}),
+                 **{name: registry[name] for name in args.plans.split(",")}}
 
     protocols = None
     if args.protocols:
@@ -300,6 +307,7 @@ def _cmd_faults(args: argparse.Namespace) -> int:
         traces_dir=None if args.no_traces else args.traces,
         shrink=not args.no_shrink,
         progress=print,
+        dump_scripts=args.dump_scripts,
     )
     print(report.summary())
     return 0 if report.ok else 1
@@ -402,6 +410,12 @@ def build_parser() -> argparse.ArgumentParser:
                    help="skip the bundled traces")
     p.add_argument("--no-shrink", action="store_true",
                    help="skip minimal-reproducer shrinking on failure")
+    p.add_argument("--crash", action="store_true",
+                   help="run the crash-stop plans (node failures with "
+                        "detection, recovery, and restart)")
+    p.add_argument("--dump-scripts", metavar="DIR",
+                   help="write each failure's scripted reproducer (shrunk "
+                        "when possible) as JSON into DIR")
     p.add_argument("--list-plans", action="store_true",
                    help="list the bundled fault plans and exit")
     p.set_defaults(fn=_cmd_faults)

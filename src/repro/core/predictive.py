@@ -229,6 +229,27 @@ class PredictiveProtocol(StacheProtocol):
                 entry.kind = EntryKind.READ
                 entry.readers.add(entry.writer)
 
+    # -- crash recovery --------------------------------------------------------------
+
+    def on_node_crashed(self, node: int, t: float) -> None:
+        super().on_node_crashed(node, t)
+        # Copies pre-sent to the dead node died with its caches: they are
+        # neither wasted predictions nor useful ones, so they leave deferred
+        # judgment (and this group's usefulness sample) entirely.
+        self._pending_judgment = {
+            pair: owner for pair, owner in self._pending_judgment.items()
+            if pair[0] != node
+        }
+        self._presented = {p for p in self._presented if p[0] != node}
+
+    def on_node_detected_down(self, node: int, t: float) -> None:
+        super().on_node_detected_down(node, t)
+        # Schedules predicting for (or homed at) the dead node would pre-send
+        # into its cold caches; purge those references and let the existing
+        # incremental-learning path relearn the survivors' pattern.
+        for sched in self.schedules.values():
+            sched.purge_node(node, self.machine.home)
+
     # -- pre-send actions per entry kind ------------------------------------------------
 
     def _presend_read(self, home: int, entry, cursor: float, outgoing,

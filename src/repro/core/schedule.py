@@ -210,6 +210,32 @@ class CommSchedule:
         self._wasted_this_instance = False
         self.cooldown = cooldown
 
+    def purge_node(self, node: int, home_of: Callable[[int], int]) -> int:
+        """Crash recovery: drop every reference to a dead node.
+
+        Entries for blocks the dead node is home for are deleted outright
+        (the restarted home relearns them from scratch); elsewhere the node
+        is removed from reader sets and writer slots, deleting entries left
+        empty.  Returns how many entries were deleted.
+        """
+        removed = 0
+        for block in list(self.entries):
+            e = self.entries[block]
+            if home_of(block) == node:
+                del self.entries[block]
+                removed += 1
+                continue
+            e.readers.discard(node)
+            if e.writer == node:
+                e.writer = None
+            if ((e.kind is EntryKind.READ and not e.readers)
+                    or (e.kind is EntryKind.WRITE and e.writer is None)
+                    or (e.kind is EntryKind.CONFLICT and e.writer is None
+                        and not e.readers)):
+                del self.entries[block]
+                removed += 1
+        return removed
+
     # -- queries --------------------------------------------------------------
 
     def __len__(self) -> int:
@@ -277,6 +303,14 @@ class ScheduleStore:
         else:
             self._store.move_to_end(directive_id)
         return sched
+
+    def insert(self, sched: CommSchedule) -> None:
+        """Install a schedule as most-recently used (checkpoint restore)."""
+        self._store[sched.directive_id] = sched
+        self._store.move_to_end(sched.directive_id)
+        while len(self._store) > self.capacity:
+            self._store.popitem(last=False)
+            self.evictions += 1
 
     # -- read-only dict flavour ------------------------------------------------
 

@@ -16,9 +16,12 @@ nothing, and the fault-free fast path is byte-for-byte unchanged.
 
 from repro.faults.plan import (
     BUNDLED_PLANS,
+    CRASH_PLANS,
     UNRECOVERABLE_PLAN,
     FaultEvent,
     FaultPlan,
+    load_plan,
+    save_plan,
 )
 from repro.faults.inject import FaultInjector
 from repro.faults.transport import TACK, ReliableTransport
@@ -33,7 +36,10 @@ __all__ = [
     "FaultPlan",
     "FaultEvent",
     "BUNDLED_PLANS",
+    "CRASH_PLANS",
     "UNRECOVERABLE_PLAN",
+    "load_plan",
+    "save_plan",
     "FaultInjector",
     "ReliableTransport",
     "TACK",

@@ -22,7 +22,13 @@ from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Callable, Sequence
 
-from repro.faults.plan import BUNDLED_PLANS, UNRECOVERABLE_PLAN, FaultPlan
+from repro.faults.plan import (
+    BUNDLED_PLANS,
+    CRASH_PLANS,
+    UNRECOVERABLE_PLAN,
+    FaultPlan,
+    save_plan,
+)
 from repro.tempest.tracefile import load_session
 from repro.util.config import MachineConfig
 from repro.util.errors import TransportTimeout
@@ -45,6 +51,9 @@ class FaultFailure:
     injected: int = 0
     minimized_events: list | None = None
     shrink_runs: int = 0
+    #: ready-to-replay scripted plan (the minimal script when shrinking
+    #: succeeded, else the full recorded history); save_plan-able
+    scripted_plan: FaultPlan | None = None
 
     def report(self) -> str:
         lines = [
@@ -153,6 +162,16 @@ def _trace_workloads(traces_dir: Path) -> list[tuple[str, Workload]]:
     return out
 
 
+def _dump_script(directory: str | Path, fail: FaultFailure) -> Path:
+    """Archive one failure's scripted reproducer as JSON."""
+    directory = Path(directory)
+    directory.mkdir(parents=True, exist_ok=True)
+    stem = f"{fail.plan}_{fail.protocol}_{fail.workload}".replace(".", "-")
+    path = directory / f"{stem}.json"
+    save_plan(fail.scripted_plan, path)
+    return path
+
+
 def _check_unrecoverable(workload: Workload, protocol: str) -> bool:
     """The hopeless plan must fail fast with full structured context."""
     try:
@@ -178,13 +197,16 @@ def run_campaign(
     shrink: bool = True,
     check_unrecoverable: bool = True,
     progress: Callable[[str], None] | None = None,
+    dump_scripts: str | Path | None = None,
 ) -> FaultCampaignReport:
     """Run every (plan x workload x protocol) combination under the monitor.
 
     ``variants`` reseeds each plan that many times per workload, multiplying
     the distinct injection histories explored.  Survivors of each
     (plan, workload) pair are cross-checked against the fault-free ground
-    truth via the differential oracle.
+    truth via the differential oracle.  ``dump_scripts`` names a directory
+    into which each failure's scripted reproducer (shrunk when possible) is
+    written as JSON for offline replay (:func:`repro.faults.plan.load_plan`).
     """
     plans = plans if plans is not None else dict(BUNDLED_PLANS)
     report = FaultCampaignReport(plans=len(plans))
@@ -225,6 +247,7 @@ def run_campaign(
                         )
                         if shrink and getattr(violation, "fault_events", None):
                             scripted = plan.as_scripted(violation.fault_events)
+                            fail.scripted_plan = scripted
 
                             def fails(subset, _w=workload, _p=protocol,
                                       _s=scripted) -> bool:
@@ -240,7 +263,13 @@ def run_campaign(
                             fail.minimized_events, fail.shrink_runs = (
                                 shrink_events(fails, violation.fault_events)
                             )
+                            if fail.minimized_events is not None:
+                                fail.scripted_plan = scripted.with_(
+                                    events=tuple(fail.minimized_events)
+                                )
                         report.failures.append(fail)
+                        if dump_scripts is not None and fail.scripted_plan:
+                            _dump_script(dump_scripts, fail)
                         if progress:
                             progress(
                                 f"{plan_name}/{protocol}/{w_name}: FAILURE "

@@ -35,6 +35,7 @@ class FaultInjector:
         #: last message fault per channel seq, for TransportTimeout context
         self._last_msg_fault: dict[tuple, FaultEvent] = {}
         self._script: dict[tuple, FaultEvent] = {ev.key: ev for ev in plan.events}
+        self._crash_count = 0
 
     # -- bookkeeping -----------------------------------------------------------
 
@@ -116,6 +117,38 @@ class FaultInjector:
             return 0.0
 
         return stall
+
+    # -- node crashes ----------------------------------------------------------
+
+    def crash_point(self, node: int, phase_index: int,
+                    n_ops: int) -> tuple[int, float] | None:
+        """Whether ``node`` crash-stops this phase: ``(op_index, restart_delay)``.
+
+        Consulted once per (node, phase) at phase start, in node order — but
+        only when a crash-capable plan installed the recovery controller, so
+        plans without crashes keep their PR 3 RNG histories bit-identical.
+        """
+        plan = self.plan
+        if self.scripted:
+            for ev in plan.events:
+                if (ev.action == "crash" and ev.key[1] == node
+                        and ev.key[2] == phase_index):
+                    self._record(ev)
+                    return (ev.key[3], ev.amount)
+            return None
+        if plan.crash_rate <= 0:
+            return None
+        if self._crash_count >= plan.max_crashes:
+            return None
+        if n_ops <= 0:
+            return None
+        if self.rng.random() >= plan.crash_rate:
+            return None
+        op = self.rng.randrange(n_ops)
+        self._crash_count += 1
+        self._record(FaultEvent("crash", ("crash", node, phase_index, op),
+                                amount=plan.restart_cycles))
+        return (op, plan.restart_cycles)
 
     # -- predictive-schedule faults --------------------------------------------
 

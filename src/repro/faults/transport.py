@@ -176,6 +176,29 @@ class ReliableTransport:
         if pend is not None and pend.timer is not None:
             pend.timer.cancel()
 
+    # -- crash recovery ----------------------------------------------------------
+
+    def forget_node(self, node: int) -> None:
+        """Drop both directions of every channel involving ``node``.
+
+        Called when survivors detect a crash: retry timers to the dead node
+        are cancelled (their sends are handled by crash recovery, not
+        retransmission) and sequence state is discarded on both sides, so
+        after the restart each peer pair opens a fresh channel from seq 0 —
+        a held-back out-of-order backlog from the previous incarnation could
+        otherwise wedge the channel forever.
+        """
+        for key in [k for k in self._channels if node in k]:
+            ch = self._channels.pop(key)
+            for pend in ch.pending.values():
+                if pend.timer is not None:
+                    pend.timer.cancel()
+
+    def has_unacked(self, src: int, dst: int) -> bool:
+        """Whether channel (src, dst) still has sends awaiting acknowledgement."""
+        ch = self._channels.get((src, dst))
+        return ch is not None and bool(ch.pending)
+
     # -- quiescence -------------------------------------------------------------
 
     @property

@@ -17,7 +17,13 @@ from __future__ import annotations
 
 from typing import TYPE_CHECKING
 
-from repro.protocols.directory import Directory, DirEntry, DirState, PendingRequest
+from repro.protocols.directory import (
+    DISCARDED,
+    Directory,
+    DirEntry,
+    DirState,
+    PendingRequest,
+)
 from repro.protocols.messages import MessageKind as MK
 from repro.protocols.teapot import ProtocolStateMachine
 from repro.tempest.network import Message
@@ -32,6 +38,15 @@ class BaseProtocol(ProtocolStateMachine):
     """Common protocol plumbing over a :class:`~repro.tempest.machine.Machine`."""
 
     name = "base"
+
+    # crash-recovery shape of this protocol's directory states: which states
+    # mean "remote read-only copies exist", and what state/home-tag pair a
+    # restarted home rebuilds when survivors hold such copies.  The
+    # write-update protocol overrides all three (its shared state keeps the
+    # home writable).
+    crash_shared_states: tuple = (DirState.SHARED,)
+    crash_rebuild_shared_state: str = DirState.SHARED
+    crash_rebuild_home_tag = AccessTag.READ_ONLY
 
     def __init__(self, machine: "Machine") -> None:
         self.machine = machine
@@ -69,7 +84,7 @@ class BaseProtocol(ProtocolStateMachine):
         cost = self.config.handler_cost + self.config.directory_lookup_cost
         done = self.machine.node(node).service_handler(t, cost)
         msg = Message(kind, src=node, dst=node, block=block)
-        self.machine.engine.schedule(done, lambda: self._handle(msg, done))
+        self.machine.schedule_node_event(node, done, lambda: self._handle(msg, done))
 
     # -- message plumbing -----------------------------------------------------------
 
@@ -87,7 +102,9 @@ class BaseProtocol(ProtocolStateMachine):
 
     def on_message(self, msg: Message, t: float) -> None:
         done = self.machine.node(msg.dst).service_handler(t, self.handler_cost_for(msg))
-        self.machine.engine.schedule(done, lambda: self._handle(msg, done))
+        # Handler effects are node-local state changes: under a crash plan
+        # they must not fire if the node dies before the completion time.
+        self.machine.schedule_node_event(msg.dst, done, lambda: self._handle(msg, done))
 
     def _handle(self, msg: Message, t: float) -> None:
         """Route a serviced message; ``t`` is the effect time."""
@@ -218,6 +235,10 @@ class BaseProtocol(ProtocolStateMachine):
 
     def grant_ro(self, entry: DirEntry, requester: int, t: float) -> None:
         """Give ``requester`` a read-only copy from home memory."""
+        if requester == DISCARDED or self.machine.is_down(requester):
+            # Crash recovery discarded the request (or the requester died
+            # while it was in flight); the entry is already stable.
+            return
         home_tags = self.machine.node(entry.home).tags
         if requester == entry.home:
             # Local read grant: home regains (at least) read permission.
@@ -245,6 +266,14 @@ class BaseProtocol(ProtocolStateMachine):
     def grant_rw(self, entry: DirEntry, requester: int, t: float) -> None:
         """Give ``requester`` the writable copy (all other copies are gone)."""
         home_tags = self.machine.node(entry.home).tags
+        if requester == DISCARDED or self.machine.is_down(requester):
+            # All other copies are already invalidated; with the requester
+            # gone too, home memory is the sole — hence current — copy.
+            entry.sharers.clear()
+            entry.owner = None
+            entry.state = DirState.IDLE
+            home_tags.set(entry.block, AccessTag.READ_WRITE)
+            return
         entry.sharers.clear()
         if requester == entry.home:
             entry.owner = None
@@ -277,6 +306,161 @@ class BaseProtocol(ProtocolStateMachine):
             req = entry.pending.popleft()
             synthetic = Message(req.kind, src=req.requester, dst=entry.home, block=entry.block)
             self.dispatch(entry, req.kind, synthetic, t)
+
+    # -- crash recovery (driven by repro.recovery.crash.CrashController) ------------------------
+
+    def on_node_crashed(self, node: int, t: float) -> None:
+        """Immediate crash effects: the node's volatile protocol state dies.
+
+        Called at the crash instant, before survivors have detected anything;
+        directory repair waits for :meth:`on_node_detected_down`.
+        """
+        self.outstanding.pop(node, None)
+        for key in [k for k in self._deferred if k[0] == node]:
+            del self._deferred[key]
+
+    def on_node_detected_down(self, node: int, t: float) -> None:
+        """Survivors detected the failure: rebuild what referenced the dead node.
+
+        Entries homed at the dead node are purged (its directory memory died
+        with it); every surviving entry is repaired so no request stays stuck
+        waiting on a writeback or acknowledgement the dead node can no longer
+        send.
+        """
+        self.directory.purge_home(node)
+        for entry in self.directory.known():
+            self.repair_entry_for_crash(entry, node, t)
+        # Deferred invalidations/recalls *from* the dead node will never be
+        # followed by the data they chased; left queued, they would fire as
+        # unsolicited ACKs/writebacks against the rebuilt directory.
+        for key, msgs in list(self._deferred.items()):
+            kept = [m for m in msgs if m.src != node]
+            if kept:
+                self._deferred[key] = kept
+            else:
+                del self._deferred[key]
+
+    def repair_entry_for_crash(self, entry: DirEntry, dead: int, t: float) -> None:
+        """Remove every reference to ``dead`` from one surviving entry.
+
+        Busy entries complete through their normal transitions by
+        synthesizing the message the dead node owed (a writeback or an
+        invalidation ACK); the grant guards suppress any grant addressed to
+        the dead requester.  Note the simulator tracks permissions, not
+        values: a dirty copy lost with its holder is modelled by declaring
+        home memory current again.
+        """
+        if entry.pending:
+            kept = [p for p in entry.pending if p.requester != dead]
+            if len(kept) != len(entry.pending):
+                entry.pending.clear()
+                entry.pending.extend(kept)
+        if entry.in_service == dead:
+            entry.in_service = DISCARDED
+        if entry.state == DirState.BUSY_INV and dead in entry.sharers:
+            # The dead sharer's ACK will never come; account for it so the
+            # waiting writer is granted (or the entry settles, if the writer
+            # died too).
+            self.dispatch(
+                entry, MK.ACK,
+                Message(MK.ACK, src=dead, dst=entry.home, block=entry.block), t,
+            )
+        elif (entry.state in (DirState.BUSY_RECALL_RO, DirState.BUSY_RECALL_RW)
+                and entry.owner == dead):
+            # The recalled writeback died with its owner: home reclaims the
+            # block through the normal writeback transition.
+            self.dispatch(
+                entry, MK.WB_DATA,
+                Message(MK.WB_DATA, src=dead, dst=entry.home, block=entry.block,
+                        payload_bytes=self.config.block_size), t,
+            )
+        elif entry.state not in DirState.BUSY:
+            home_tags = self.machine.node(entry.home).tags
+            if entry.owner == dead:
+                entry.owner = None
+                entry.state = DirState.IDLE
+                home_tags.set(entry.block, AccessTag.READ_WRITE)
+            if dead in entry.sharers:
+                entry.sharers.discard(dead)
+                if (entry.state in self.crash_shared_states
+                        and not entry.sharers):
+                    entry.state = DirState.IDLE
+                    home_tags.set(entry.block, AccessTag.READ_WRITE)
+        self._drain_pending(entry, t)
+
+    def rebuild_home_state(self, node: int, t: float) -> int:
+        """A restarted home re-derives its directory from survivors' tags.
+
+        For every block homed at ``node``: a surviving writable copy makes
+        its holder the exclusive owner; surviving read-only copies rebuild
+        the protocol's shared state (``crash_rebuild_shared_state``); with no
+        surviving copy, home memory is the sole copy and the home tag returns
+        to READ_WRITE.  Returns how many entries were rebuilt.
+        """
+        machine = self.machine
+        home_tags = machine.node(node).tags
+        rw_holder: dict[int, int] = {}
+        ro_holders: dict[int, set[int]] = {}
+        for other in machine.nodes:
+            if other.id == node or machine.is_down(other.id):
+                continue
+            for block in other.tags.blocks_with_tag(AccessTag.READ_WRITE):
+                if machine.home(block) == node:
+                    rw_holder[block] = other.id
+            for block in other.tags.blocks_with_tag(AccessTag.READ_ONLY):
+                if machine.home(block) == node:
+                    ro_holders.setdefault(block, set()).add(other.id)
+        rebuilt = 0
+        for region in machine.addr_space.regions:
+            for block in machine.addr_space.blocks_of_range(region.base, region.size):
+                if machine.home(block) != node:
+                    continue
+                owner = rw_holder.get(block)
+                if owner is not None:
+                    entry = self.directory.entry(block)
+                    entry.state = DirState.EXCLUSIVE
+                    entry.owner = owner
+                    entry.sharers.clear()
+                    entry.in_service = None
+                    entry.acks_needed = 0
+                    entry.pending.clear()
+                    rebuilt += 1
+                elif block in ro_holders:
+                    entry = self.directory.entry(block)
+                    entry.state = self.crash_rebuild_shared_state
+                    entry.owner = None
+                    entry.sharers = set(ro_holders[block])
+                    entry.in_service = None
+                    entry.acks_needed = 0
+                    entry.pending.clear()
+                    home_tags.set(block, self.crash_rebuild_home_tag)
+                    rebuilt += 1
+                else:
+                    home_tags.set(block, AccessTag.READ_WRITE)
+        return rebuilt
+
+    def reissue_faults_for_home(self, node: int, t: float) -> int:
+        """Re-send outstanding requests the crash of home ``node`` orphaned.
+
+        A request in flight to (or queued at) the dead home was lost with
+        it; once the home restarts, each survivor still faulted on one of
+        its blocks sends a fresh request.  With the reliable transport
+        installed, a channel that still has unacked sends is skipped — its
+        own retransmission will reach the restarted home.
+        """
+        transport = self.machine._transport
+        reissued = 0
+        for requester in sorted(self.outstanding):
+            proc, block, kind = self.outstanding[requester]
+            if self.machine.home(block) != node:
+                continue
+            if transport is not None and transport.has_unacked(requester, node):
+                continue
+            req = MK.GET_RO if kind == "r" else MK.GET_RW
+            self.send(Message(req, src=requester, dst=node, block=block), t)
+            self.machine.node(requester).stats.reissued_requests += 1
+            reissued += 1
+        return reissued
 
     # -- phase-group hooks (overridden by the predictive protocol) ------------------------------
 

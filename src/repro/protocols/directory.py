@@ -29,6 +29,12 @@ from typing import Deque
 
 from repro.util.errors import ProtocolError
 
+#: placeholder requester installed by crash recovery when the node being
+#: serviced by a busy entry died: the completing transition still runs (so
+#: the entry returns to a stable state through its normal path), but the
+#: final grant is suppressed (see BaseProtocol.grant_ro / grant_rw guards).
+DISCARDED = -1
+
 
 class DirState:
     IDLE = "IDLE"
@@ -114,6 +120,18 @@ class Directory:
 
     def known(self) -> list[DirEntry]:
         return list(self._entries.values())
+
+    def purge_home(self, node: int) -> int:
+        """Crash recovery: drop every entry homed at a dead node.
+
+        The dead node's directory memory is gone with it; survivors' copies
+        are re-registered from their tag tables when the node restarts
+        (see BaseProtocol.rebuild_home_state).  Returns the purge count.
+        """
+        doomed = [b for b, e in self._entries.items() if e.home == node]
+        for b in doomed:
+            del self._entries[b]
+        return len(doomed)
 
     def check_all(self) -> None:
         for e in self._entries.values():

@@ -49,6 +49,13 @@ class WriteUpdateProtocol(BaseProtocol):
     name = "write-update"
     coalesce_updates = False
 
+    # crash-recovery shape: consumers' copies are read-only registrations
+    # while the home keeps the writable copy, so a restarted home rebuilds
+    # UPDATE_SHARED (not SHARED) and keeps its READ_WRITE tag.
+    crash_shared_states = (UPDATE_SHARED,)
+    crash_rebuild_shared_state = UPDATE_SHARED
+    crash_rebuild_home_tag = AccessTag.READ_WRITE
+
     def __init__(self, machine: "Machine") -> None:
         super().__init__(machine)
         self.updates_pushed = 0

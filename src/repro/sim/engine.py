@@ -121,8 +121,18 @@ class Engine:
 
     @property
     def pending(self) -> int:
-        """Number of not-yet-dispatched (and not cancelled) events."""
-        return sum(1 for ev in self._queue if not ev.cancelled)
+        """Number of not-yet-dispatched (and not cancelled) events.
+
+        Cancelled events are pruned from the queue here rather than merely
+        skipped: quiescence checks call this at every phase barrier, so a
+        long fault run with many cancelled retry timers would otherwise both
+        re-scan an ever-growing heap and report a "drained" queue that still
+        holds garbage (checkpointing requires the queue to be truly empty).
+        """
+        if any(ev.cancelled for ev in self._queue):
+            self._queue = [ev for ev in self._queue if not ev.cancelled]
+            heapq.heapify(self._queue)
+        return len(self._queue)
 
     @property
     def total_dispatched(self) -> int:

@@ -90,6 +90,8 @@ class ReplayProcessor:
         "miss_start",
         "pending_op",
         "done",
+        "crash_at",
+        "restart_delay",
     )
 
     def __init__(self, machine: "Machine", node: Node, ops: list[TraceOp], start: float):
@@ -102,11 +104,35 @@ class ReplayProcessor:
         self.miss_start = 0.0
         self.pending_op: TraceOp | None = None
         self.done = False
+        #: armed by the crash controller: crash-stop before executing this op
+        self.crash_at: int | None = None
+        self.restart_delay = 0.0
 
     # -- execution -------------------------------------------------------------
 
     def start(self) -> None:
-        self.machine.engine.schedule(self.t, self._run)
+        self._schedule_run(self.t)
+
+    def _schedule_run(self, t: float) -> None:
+        """Schedule the next dispatch, incarnation-guarded under crash plans.
+
+        The closure captures the node's incarnation *at schedule time*: a
+        continuation scheduled before a crash must not fire into the node's
+        next life, and one scheduled while down must not fire at all.
+        """
+        ctl = self.machine.crash_controller
+        if ctl is None:
+            self.machine.engine.schedule(t, self._run)
+        else:
+            inc = ctl.incarnations[self.node.id]
+            self.machine.engine.schedule(t, lambda: self._run_alive(inc))
+
+    def _run_alive(self, inc: int) -> None:
+        ctl = self.machine.crash_controller
+        if ctl is not None and (self.node.id in ctl.down
+                                or ctl.incarnations[self.node.id] != inc):
+            return
+        self._run()
 
     def _run(self) -> None:
         """Process ops inline up to the conservative horizon, then yield."""
@@ -125,8 +151,11 @@ class ReplayProcessor:
         # otherwise same-timestamp processors livelock re-yielding to each
         # other; a tie with a pending event is semantically unordered anyway
         while self.index < n:
+            if self.crash_at is not None and self.index >= self.crash_at:
+                self.machine.crash_controller.crash_now(self)
+                return
             if progressed and self.t >= horizon:
-                eng.schedule(self.t, self._run)
+                self._schedule_run(self.t)
                 return
             progressed = True
             op = ops[self.index]
@@ -185,7 +214,7 @@ class ReplayProcessor:
         self.t = t + self.machine.config.cache_hit_cost
         self.node.stats.add(TimeCategory.COMPUTE, self.machine.config.cache_hit_cost)
         self.index += 1
-        self.machine.engine.schedule(self.t, self._run)
+        self._schedule_run(self.t)
 
 
 class Machine:
@@ -226,6 +255,11 @@ class Machine:
         #: fault-injection state (None on the fault-free fast path)
         self.fault_injector = None
         self._transport = None
+        #: crash-recovery state (None unless the plan can crash nodes)
+        self.crash_controller = None
+        self.watchdog = None
+        #: phases run so far; keys the per-(node, phase) crash decisions
+        self.phase_index = 0
         self.protocol: CoherenceProtocolAPI = protocol_factory(self)
         self.network.attach(self._deliver)
 
@@ -237,7 +271,40 @@ class Machine:
     def node(self, i: int) -> Node:
         return self.nodes[i]
 
+    def is_down(self, node: int) -> bool:
+        ctl = self.crash_controller
+        return ctl is not None and node in ctl.down
+
+    def incarnation(self, node: int) -> int:
+        ctl = self.crash_controller
+        return 0 if ctl is None else ctl.incarnations[node]
+
+    def schedule_node_event(self, node: int, time: float, fn) -> None:
+        """Schedule a node-local effect, skipped if the node dies first.
+
+        Handler effects (tag changes, directory updates, replies) scheduled
+        before a crash must not fire while the node is down or after it
+        restarts with a fresh incarnation; without a crash controller this is
+        a plain engine schedule.
+        """
+        ctl = self.crash_controller
+        if ctl is None:
+            self.engine.schedule(time, fn)
+            return
+        inc = ctl.incarnations[node]
+
+        def _fire() -> None:
+            if node in ctl.down or ctl.incarnations[node] != inc:
+                return
+            fn()
+
+        self.engine.schedule(time, _fire)
+
     def _deliver(self, msg: Message, t: float) -> None:
+        ctl = self.crash_controller
+        if ctl is not None and not ctl.deliverable(msg):
+            self.network.messages_fenced += 1
+            return
         if self._transport is not None:
             for accepted in self._transport.on_arrival(msg, t):
                 self._dispatch(accepted, t)
@@ -277,6 +344,12 @@ class Machine:
         if plan.stall_rate > 0.0 or injector.has_scripted("stall"):
             for node in self.nodes:
                 node.stall_hook = injector.stall_hook_for(node.id)
+        if plan.affects_nodes():
+            from repro.recovery.crash import CrashController
+
+            self.crash_controller = CrashController(self, injector, plan)
+            self.watchdog = Watchdog(self, plan.detect_cycles)
+            self.network.incarnation_of = self.crash_controller.incarnation
 
     def note_access(self, node: int, block: int, kind: str) -> None:
         """Record that ``node`` touched ``block`` (pre-send usefulness and
@@ -350,19 +423,27 @@ class Machine:
         misses_before = self.stats.misses
         hits_before = self.stats.local_hits
         msgs_before = self.stats.messages
+        phase_index = self.phase_index
+        self.phase_index += 1
         procs = [
             ReplayProcessor(self, self.nodes[i], trace.ops[i], start)
             for i in range(self.config.n_nodes)
         ]
         self._procs = procs
+        if self.crash_controller is not None:
+            self.crash_controller.arm_phase(procs, phase_index)
         for p in procs:
             p.start()
         self.engine.run()
         if len(self._barrier_arrivals) != self.config.n_nodes:
             missing = [p.node.id for p in procs if not p.done]
+            crashed = ""
+            if self.crash_controller is not None and self.crash_controller.log:
+                crashed = ("; crash history: "
+                           + "; ".join(str(r) for r in self.crash_controller.log))
             raise SimulationError(
                 f"phase {trace.name!r}: deadlock — processors {missing} never "
-                f"reached the barrier (protocol dropped a resume?)"
+                f"reached the barrier (protocol dropped a resume?){crashed}"
             )
         arrivals = self.protocol.adjust_barrier(dict(self._barrier_arrivals))
         release = max(arrivals.values()) + self.config.barrier_latency
@@ -400,3 +481,32 @@ class Machine:
         self.stats.wall_time = self.clock
         self.stats.check_conservation()
         return self.stats
+
+
+class Watchdog:
+    """Liveness layer: bounds how long a dead node can stall the machine.
+
+    A crash-stop failure is detected exactly ``detect_cycles`` simulated
+    cycles after the crash (survivors miss the node's heartbeats); detection
+    fires the recovery controller, which repairs directory state and unblocks
+    requests stuck on the dead node.  Because detection is an engine event,
+    a barrier stall caused by a dead node is bounded by construction: either
+    recovery lets the phase complete, or the drained engine fails fast with a
+    deadlock :class:`SimulationError` — the run can never hang.
+    """
+
+    def __init__(self, machine: "Machine", detect_cycles: float) -> None:
+        self.machine = machine
+        self.detect_cycles = detect_cycles
+        self.detections = 0
+
+    def arm(self, node: int, t_crash: float) -> float:
+        """Schedule failure detection for ``node``; returns the detect time."""
+        t_detect = t_crash + self.detect_cycles
+
+        def _fire() -> None:
+            self.detections += 1
+            self.machine.crash_controller.detect(node, t_detect)
+
+        self.machine.engine.schedule(t_detect, _fire)
+        return t_detect

@@ -16,7 +16,6 @@ default) the send path is byte-for-byte the fault-free one.
 
 from __future__ import annotations
 
-import itertools
 from dataclasses import dataclass, field
 from typing import Any, Callable
 
@@ -44,6 +43,11 @@ class Message:
     seq: int | None = None
     #: retransmission count (0 for the first transmission attempt)
     resends: int = 0
+    #: sender/receiver incarnation numbers stamped at (re)transmission time;
+    #: the crash-recovery delivery fence drops messages whose stamps no
+    #: longer match (pre-crash traffic must not reach a restarted node)
+    src_inc: int = 0
+    dst_inc: int = 0
 
     def __repr__(self) -> str:  # compact for trace dumps
         blk = f" blk={self.block}" if self.block is not None else ""
@@ -64,13 +68,17 @@ class Network:
         self.engine = engine
         self.config = config
         self._deliver: Callable[[Message, float], None] | None = None
-        self._msg_ids = itertools.count()
+        # plain int rather than itertools.count so checkpoints can capture it
+        self._next_msg_id = 0
         self.messages_delivered = 0
         self.bytes_delivered = 0
         #: optional fault injector (repro.faults.inject.FaultInjector)
         self.injector = None
+        #: optional node -> incarnation map (crash-recovery controller)
+        self.incarnation_of: Callable[[int], int] | None = None
         self.messages_dropped = 0
         self.messages_duplicated = 0
+        self.messages_fenced = 0
 
     def attach(self, deliver: Callable[[Message, float], None]) -> None:
         """Set the machine-level dispatcher invoked on each delivery."""
@@ -101,8 +109,14 @@ class Network:
         if not (0 <= msg.src < n and 0 <= msg.dst < n):
             raise SimulationError(f"bad endpoints in {msg}",
                                   message_repr=repr(msg))
-        msg.msg_id = next(self._msg_ids)
+        msg.msg_id = self._next_msg_id
+        self._next_msg_id += 1
         msg.send_time = at
+        if self.incarnation_of is not None:
+            # Stamp at every physical (re)transmission: a retry after the
+            # peer restarted carries the new incarnation and passes the fence.
+            msg.src_inc = self.incarnation_of(msg.src)
+            msg.dst_inc = self.incarnation_of(msg.dst)
         nominal = at + self.flight_time(msg)
 
         if self.injector is not None:

@@ -43,5 +43,14 @@ class Node:
     def reset_timing(self) -> None:
         self.handler_busy_until = 0.0
 
+    def reset_for_restart(self) -> None:
+        """Cold-start after a crash: caches empty, handler idle.
+
+        Statistics survive (they describe the whole run, crashes included);
+        home-memory contents are rebuilt by the recovery protocol.
+        """
+        self.tags.clear()
+        self.handler_busy_until = 0.0
+
     def __repr__(self) -> str:
         return f"<Node {self.id} tags={len(self.tags)}>"

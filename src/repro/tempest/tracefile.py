@@ -119,8 +119,16 @@ def replay_session(
     session: tuple[list[Event], list[dict]] | list[Event],
     machine: Machine,
     regions: list[dict] | None = None,
+    finish: bool = True,
 ) -> RunStats:
-    """Replay a recorded session on ``machine`` and return its statistics."""
+    """Replay a recorded session on ``machine`` and return its statistics.
+
+    ``finish=False`` skips the end-of-run close-out so the machine can be
+    checkpointed (:mod:`repro.recovery.checkpoint`) or continued with more
+    events; resuming a restored machine should also pass ``regions=[]`` —
+    the checkpoint already restored the region layout and tag state, and
+    re-running ``restore_regions`` would clobber it.
+    """
     if isinstance(session, tuple):
         events, rec_regions = session
         regions = regions if regions is not None else rec_regions
@@ -144,4 +152,6 @@ def replay_session(
             machine.end_group()
         else:
             raise SimulationError(f"unknown session event {ev!r}")
+    if not finish:
+        return machine.stats
     return machine.finish()

@@ -100,6 +100,50 @@ def profile_for(protocol_name: str) -> InvariantProfile:
     return PROFILES.get(protocol_name, InvariantProfile())
 
 
+def dead_node_references(machine: "Machine", nodes=None) -> list[str]:
+    """Every directory or schedule reference to a down node, as report lines.
+
+    ``nodes`` defaults to the machine's currently-down set (empty without a
+    crash controller).  Used two ways: the crash controller self-checks with
+    the just-detected node right after recovery, and the invariant monitor
+    asserts the set is empty at every phase barrier.
+    """
+    if nodes is None:
+        ctl = getattr(machine, "crash_controller", None)
+        nodes = set() if ctl is None else set(ctl.down)
+    if not nodes:
+        return []
+    refs: list[str] = []
+    directory = getattr(machine.protocol, "directory", None)
+    if directory is not None:
+        for entry in directory.known():
+            if entry.home in nodes:
+                refs.append(f"entry homed at dead node: {entry!r}")
+            if entry.owner in nodes:
+                refs.append(f"dead owner: {entry!r}")
+            dead_sharers = entry.sharers & nodes
+            if dead_sharers:
+                refs.append(f"dead sharers {sorted(dead_sharers)}: {entry!r}")
+            if entry.in_service in nodes:
+                refs.append(f"dead requester in service: {entry!r}")
+            dead_pending = sorted({p.requester for p in entry.pending} & nodes)
+            if dead_pending:
+                refs.append(f"dead pending requesters {dead_pending}: {entry!r}")
+    schedules = getattr(machine.protocol, "schedules", None)
+    if schedules is not None:
+        for sched in schedules.values():
+            for e in sched:
+                where = f"schedule {sched.directive_id} block {e.block}"
+                if machine.home(e.block) in nodes:
+                    refs.append(f"{where}: homed at dead node")
+                dead_readers = e.readers & nodes
+                if dead_readers:
+                    refs.append(f"{where}: dead readers {sorted(dead_readers)}")
+                if e.writer in nodes:
+                    refs.append(f"{where}: dead writer {e.writer}")
+    return refs
+
+
 @dataclass
 class InvariantMonitor:
     """Checks coherence invariants at every phase barrier of one machine.
@@ -137,7 +181,17 @@ class InvariantMonitor:
         self.checks_run += 1
         prof = profile_for(machine.protocol.name)
         self._check_quiescence(machine, phase)
+        self._check_dead_nodes(machine, phase)
         self._check_tags_vs_directory(machine, phase, prof)
+
+    def _check_dead_nodes(self, machine: "Machine", phase: str) -> None:
+        """No directory entry or schedule may reference a down node."""
+        refs = dead_node_references(machine)
+        if refs:
+            shown = "; ".join(refs[:5])
+            if len(refs) > 5:
+                shown += f" (+{len(refs) - 5} more)"
+            self._raise(machine, phase, "dead-node-reference", shown)
 
     def _check_quiescence(self, machine: "Machine", phase: str) -> None:
         if machine.engine.pending:

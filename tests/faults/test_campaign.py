@@ -102,3 +102,49 @@ class TestRunCampaign:
         )
         assert report.ok
         assert report.workloads > 1  # the generated seed plus bundled traces
+
+
+class TestFailureScripts:
+    """A failing run must leave behind a ready-to-replay scripted plan,
+    and --dump-scripts archives it as versioned JSON."""
+
+    #: hopeless but *not* the probe plan: run through the normal campaign
+    #: path so the failure machinery (scripting, shrinking, dumping) fires
+    DOOMED = {"doomed": FaultPlan(name="doomed", drop_rate=1.0,
+                                  timeout_budget=20_000.0, max_retries=2)}
+
+    def test_failure_carries_scripted_plan(self):
+        report = run_campaign(
+            plans=dict(self.DOOMED), seeds=1, protocols=("stache",),
+            traces_dir=None, check_unrecoverable=False,
+        )
+        assert not report.ok and report.failures
+        fail = report.failures[0]
+        assert fail.scripted_plan is not None
+        assert fail.scripted_plan.scripted
+        assert fail.scripted_plan.drop_rate == 0.0  # script only, no dice
+        if fail.minimized_events is not None:
+            assert list(fail.scripted_plan.events) == fail.minimized_events
+
+    def test_dump_scripts_archives_replayable_json(self, tmp_path):
+        from repro.faults import load_plan
+
+        report = run_campaign(
+            plans=dict(self.DOOMED), seeds=1, protocols=("stache",),
+            traces_dir=None, check_unrecoverable=False,
+            dump_scripts=tmp_path / "scripts",
+        )
+        assert report.failures
+        dumped = sorted((tmp_path / "scripts").glob("*.json"))
+        assert len(dumped) == len(report.failures)
+        plan = load_plan(dumped[0])
+        assert plan == report.failures[0].scripted_plan
+
+    def test_green_campaign_dumps_nothing(self, tmp_path):
+        report = run_campaign(
+            plans={"dup": FaultPlan(name="dup", dup_rate=0.2, seed=1)},
+            seeds=1, protocols=("stache",), traces_dir=None,
+            check_unrecoverable=False, dump_scripts=tmp_path / "scripts",
+        )
+        assert report.ok
+        assert not (tmp_path / "scripts").exists()

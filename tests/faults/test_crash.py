@@ -1,0 +1,138 @@
+"""Tests for crash-stop node failures: injection determinism, scripted
+replay, coherence-state recovery, and differential identity with the
+fault-free ground truth under every protocol."""
+
+import pytest
+
+from repro.faults import CRASH_PLANS, FaultPlan
+from repro.verify.oracle import differential_check, run_workload
+from repro.verify.workload import generate_workload
+
+CRASH = CRASH_PLANS["crash"]
+STORM = CRASH_PLANS["crash-storm"]
+LOSSY = CRASH_PLANS["crash-lossy"]
+
+
+def _crash_events(obs):
+    return [ev for ev in obs.fault_events if ev.action == "crash"]
+
+
+class TestCrashInjection:
+    def test_same_seed_same_history(self):
+        w = generate_workload(0)
+        a = run_workload(w, "stache", fault_plan=CRASH.with_(seed=3))
+        b = run_workload(w, "stache", fault_plan=CRASH.with_(seed=3))
+        assert a.fault_events == b.fault_events
+        assert a.stats.wall_time == b.stats.wall_time
+
+    def test_different_seeds_eventually_differ(self):
+        w = generate_workload(0)
+        histories = {
+            tuple(run_workload(w, "stache",
+                               fault_plan=CRASH.with_(seed=s)).fault_events)
+            for s in range(6)
+        }
+        assert len(histories) > 1
+
+    def test_crashes_are_injected_across_seeds(self):
+        w = generate_workload(0)
+        total = 0
+        for s in range(6):
+            obs = run_workload(w, "stache", fault_plan=CRASH.with_(seed=s))
+            crashes = _crash_events(obs)
+            assert len(crashes) <= CRASH.max_crashes
+            assert obs.stats.crashes == len(crashes)
+            total += len(crashes)
+        assert total > 0, "crash rate 0.15 over 6 seeds injected nothing"
+
+    def test_scripted_replay_is_identical(self):
+        w = generate_workload(0)
+        seed = next(
+            s for s in range(16)
+            if _crash_events(run_workload(
+                w, "stache", fault_plan=CRASH.with_(seed=s)))
+        )
+        live = run_workload(w, "stache", fault_plan=CRASH.with_(seed=seed))
+        scripted_plan = CRASH.with_(seed=seed).as_scripted(live.fault_events)
+        replay = run_workload(w, "stache", fault_plan=scripted_plan)
+        assert replay.image == live.image
+        assert replay.stats.wall_time == live.stats.wall_time
+        assert replay.stats.crashes == live.stats.crashes
+        assert replay.fault_events == live.fault_events
+
+    def test_max_crashes_bounds_storm(self):
+        w = generate_workload(0)
+        for s in range(4):
+            obs = run_workload(w, "stache", fault_plan=STORM.with_(seed=s))
+            assert obs.stats.crashes <= STORM.max_crashes
+
+
+class TestCrashRecovery:
+    """Crashes cost time, never answers: every run must complete
+    differentially identical to the fault-free ground truth, with the
+    invariant monitor (including the dead-node-reference check) attached
+    throughout — run_workload raises CoherenceViolation otherwise."""
+
+    @pytest.mark.parametrize("seed", range(4))
+    def test_recovery_is_differentially_clean(self, seed):
+        w = generate_workload(seed)
+        observed = {
+            proto: run_workload(w, proto, fault_plan=CRASH.with_(seed=seed))
+            for proto in w.protocols
+        }
+        differential_check(w, observed)
+
+    @pytest.mark.parametrize("plan", [STORM, LOSSY],
+                             ids=["crash-storm", "crash-lossy"])
+    def test_harder_plans_recover_too(self, plan):
+        w = generate_workload(0)
+        observed = {
+            proto: run_workload(w, proto, fault_plan=plan.with_(seed=1))
+            for proto in w.protocols
+        }
+        differential_check(w, observed)
+
+    def test_downtime_is_charged_when_a_node_dies(self):
+        w = generate_workload(0)
+        for s in range(16):
+            obs = run_workload(w, "stache", fault_plan=CRASH.with_(seed=s))
+            if obs.stats.crashes:
+                assert obs.stats.downtime > 0
+                labels = [row[0] for row in obs.stats.summary_rows()]
+                assert "node crashes" in labels
+                assert "downtime (cycles)" in labels
+                return
+        pytest.fail("no seed in range(16) produced a crash")
+
+    def test_crash_slows_but_never_changes_the_image(self):
+        w = generate_workload(0)
+        clean = run_workload(w, "predictive")
+        s = next(
+            s for s in range(16)
+            if run_workload(w, "predictive",
+                            fault_plan=CRASH.with_(seed=s)).stats.crashes
+        )
+        crashed = run_workload(w, "predictive", fault_plan=CRASH.with_(seed=s))
+        assert crashed.image == clean.image
+        assert crashed.stats.wall_time > clean.stats.wall_time
+
+    def test_run_terminates_within_event_budget(self):
+        # the watchdog bounds every dead-node stall, so even a crash storm
+        # on a lossy network finishes well inside the default event budget
+        w = generate_workload(2)
+        plan = STORM.with_(seed=0, drop_rate=0.02)
+        obs = run_workload(w, "stache", fault_plan=plan, max_events=500_000)
+        assert obs.stats is not None
+
+
+class TestScriptedCrashPlans:
+    def test_scripted_crash_event_arms_controller(self):
+        w = generate_workload(0)
+        from repro.faults.plan import FaultEvent
+        plan = FaultPlan(name="one-crash", events=(
+            FaultEvent("crash", ("crash", 1, 2, 3), amount=25_000.0),
+        ))
+        assert plan.affects_nodes()
+        obs = run_workload(w, "stache", fault_plan=plan)
+        assert obs.stats.crashes == 1
+        assert run_workload(w, "stache").image == obs.image

@@ -2,7 +2,8 @@
 
 import pytest
 
-from repro.faults import BUNDLED_PLANS, UNRECOVERABLE_PLAN, FaultPlan
+from repro.faults import (BUNDLED_PLANS, CRASH_PLANS,
+                          UNRECOVERABLE_PLAN, FaultPlan)
 from repro.faults.plan import FaultEvent
 from repro.util import ConfigError
 
@@ -99,3 +100,104 @@ class TestBundled:
     def test_unrecoverable_drops_everything_fast(self):
         assert UNRECOVERABLE_PLAN.drop_rate == 1.0
         assert UNRECOVERABLE_PLAN.timeout_budget < 100_000
+
+
+class TestCrashFields:
+    def test_crash_rate_bounded(self):
+        with pytest.raises(ConfigError):
+            FaultPlan(crash_rate=1.5)
+
+    def test_detect_must_precede_restart(self):
+        with pytest.raises(ConfigError):
+            FaultPlan(detect_cycles=5_000.0, restart_cycles=5_000.0)
+        with pytest.raises(ConfigError):
+            FaultPlan(detect_cycles=0.0)
+        with pytest.raises(ConfigError):
+            FaultPlan(restart_cycles=-1.0)
+
+    def test_negative_max_crashes_rejected(self):
+        with pytest.raises(ConfigError):
+            FaultPlan(max_crashes=-1)
+
+    def test_affects_nodes(self):
+        assert FaultPlan(crash_rate=0.1).affects_nodes()
+        assert not FaultPlan(drop_rate=0.1).affects_nodes()
+        ev = FaultEvent("crash", ("crash", 1, 0, 2), amount=30_000.0)
+        assert FaultPlan(events=(ev,)).affects_nodes()
+        assert not FaultPlan(events=(ev,)).affects_messages()
+
+    def test_crash_event_describe(self):
+        ev = FaultEvent("crash", ("crash", 2, 3, 7), amount=30_000.0)
+        s = ev.describe()
+        assert "node 2" in s and "phase 3" in s and "op 7" in s
+
+    def test_all_crash_plans_valid_and_active(self):
+        for name, plan in CRASH_PLANS.items():
+            assert plan.name == name
+            assert plan.is_active() and plan.affects_nodes()
+
+    def test_as_scripted_zeroes_crash_rate(self):
+        scripted = CRASH_PLANS["crash"].as_scripted(())
+        assert scripted.crash_rate == 0.0
+        assert not scripted.is_active()
+
+
+class TestSerialization:
+    def _all_plans(self):
+        scripted = FaultPlan(name="scripted", events=(
+            FaultEvent("drop", ("msg", "GET_RO", 0, 1, 4, 0, 0)),
+            FaultEvent("stall", ("stall", 2, 5), 600.0),
+            FaultEvent("crash", ("crash", 1, 3, 2), 30_000.0),
+        ))
+        return [*BUNDLED_PLANS.values(), *CRASH_PLANS.values(),
+                UNRECOVERABLE_PLAN, scripted]
+
+    def test_round_trip_every_plan(self):
+        for plan in self._all_plans():
+            assert FaultPlan.from_dict(plan.to_dict()) == plan
+
+    def test_round_trip_through_json_text(self):
+        import json
+        for plan in self._all_plans():
+            blob = json.dumps(plan.to_dict(), sort_keys=True)
+            assert FaultPlan.from_dict(json.loads(blob)) == plan
+
+    def test_save_load_file(self, tmp_path):
+        from repro.faults import load_plan, save_plan
+        plan = CRASH_PLANS["crash-lossy"].as_scripted((
+            FaultEvent("crash", ("crash", 0, 1, 0), 20_000.0),
+        ))
+        save_plan(plan, tmp_path / "plan.json")
+        assert load_plan(tmp_path / "plan.json") == plan
+
+    def test_legacy_record_without_crash_fields_loads(self):
+        # a plan saved before the crash model existed: no crash_rate,
+        # restart_cycles, detect_cycles, max_crashes keys at all
+        legacy = {
+            "format": 1, "name": "old-drop", "seed": 3, "drop_rate": 0.05,
+            "events": [{"action": "drop",
+                        "key": ["msg", "GET_RO", 0, 1, 4, 0, 0]}],
+        }
+        plan = FaultPlan.from_dict(legacy)
+        assert plan.drop_rate == 0.05
+        assert plan.crash_rate == 0.0
+        assert plan.max_crashes == FaultPlan().max_crashes
+        assert plan.events[0].amount == 0.0
+
+    def test_unknown_field_rejected(self):
+        with pytest.raises(ConfigError, match="unknown field"):
+            FaultPlan.from_dict({"format": 1, "explode_rate": 0.5})
+
+    def test_future_format_rejected(self):
+        with pytest.raises(ConfigError, match="format"):
+            FaultPlan.from_dict({"format": 99})
+
+    def test_event_record_missing_key_rejected(self):
+        with pytest.raises(ConfigError, match="missing"):
+            FaultEvent.from_dict({"action": "drop"})
+
+    def test_to_dict_is_json_native(self):
+        import json
+        record = CRASH_PLANS["crash-storm"].to_dict()
+        assert record["format"] == 1
+        json.dumps(record)  # must not raise

@@ -1,0 +1,154 @@
+"""Tests for deterministic checkpoint/restart.
+
+The snapshot is the determinism oracle: two machines are equivalent iff
+their snapshots are equal, and interrupting a session at a quiescent
+point, restoring from the checkpoint, and replaying the rest must be
+bit-identical to the uninterrupted run — under every protocol, with or
+without injected faults.
+"""
+
+import json
+
+import pytest
+
+from repro.core import make_machine
+from repro.faults import CRASH_PLANS, FaultPlan
+from repro.recovery.checkpoint import (
+    CHECKPOINT_VERSION,
+    load_checkpoint,
+    restore_machine,
+    save_checkpoint,
+    snapshot_machine,
+)
+from repro.tempest.tracefile import replay_session
+from repro.util import SimulationError
+from repro.verify.workload import generate_workload
+
+CHAOS = FaultPlan(name="chaos-lite", drop_rate=0.02, dup_rate=0.03,
+                  delay_rate=0.05, delay_cycles=200.0, seed=11)
+CRASH = CRASH_PLANS["crash"].with_(seed=5)
+
+
+def _run_full(workload, protocol, plan=None):
+    """Uninterrupted run; returns the end-of-run snapshot."""
+    machine = make_machine(workload.config, protocol)
+    if plan is not None:
+        machine.install_fault_plan(plan)
+    replay_session(workload.session, machine, finish=False)
+    return snapshot_machine(machine)
+
+
+def _run_interrupted(workload, protocol, plan=None, cut=None):
+    """Run to ``cut`` events, checkpoint, restore, replay the rest."""
+    events, regions = workload.session
+    cut = cut if cut is not None else len(events) // 2
+    machine = make_machine(workload.config, protocol)
+    if plan is not None:
+        machine.install_fault_plan(plan)
+    # a cut can land mid-recovery (e.g. a restart still pending); step
+    # forward to the next quiescent event boundary before checkpointing
+    replay_session((events[:cut], regions), machine, finish=False)
+    while True:
+        try:
+            snap = snapshot_machine(machine)
+            break
+        except SimulationError:
+            if cut >= len(events):
+                raise
+            replay_session(([events[cut]], regions), machine,
+                           regions=[], finish=False)
+            cut += 1
+    resumed = restore_machine(snap)
+    replay_session((events[cut:], regions), resumed,
+                   regions=[], finish=False)
+    return snap, snapshot_machine(resumed)
+
+
+class TestSnapshotOracle:
+    def test_identical_runs_have_equal_snapshots(self):
+        w = generate_workload(0)
+        assert _run_full(w, "stache") == _run_full(w, "stache")
+
+    def test_snapshot_is_json_canonical(self, tmp_path):
+        w = generate_workload(0)
+        machine = make_machine(w.config, "predictive")
+        machine.install_fault_plan(CRASH)
+        replay_session(w.session, machine, finish=False)
+        snap = save_checkpoint(machine, tmp_path / "ckpt.json")
+        loaded = load_checkpoint(tmp_path / "ckpt.json")
+        assert loaded == snap
+        # the snapshot survives a round-trip through json itself
+        assert json.loads(json.dumps(snap)) == snap
+
+    def test_restore_is_a_fixed_point(self):
+        w = generate_workload(0)
+        for proto in w.protocols:
+            snap = _run_full(w, proto, plan=CRASH)
+            assert snapshot_machine(restore_machine(snap)) == snap
+
+
+class TestInterruptedReplay:
+    @pytest.mark.parametrize("seed", [0, 1])
+    def test_resume_is_bit_identical_fault_free(self, seed):
+        w = generate_workload(seed)
+        for proto in w.protocols:
+            _, resumed = _run_interrupted(w, proto)
+            assert resumed == _run_full(w, proto)
+
+    @pytest.mark.parametrize("plan", [CHAOS, CRASH],
+                             ids=["chaos-lite", "crash"])
+    def test_resume_is_bit_identical_under_faults(self, plan):
+        w = generate_workload(0)
+        for proto in w.protocols:
+            _, resumed = _run_interrupted(w, proto, plan=plan)
+            assert resumed == _run_full(w, proto, plan=plan)
+
+    def test_resume_from_disk(self, tmp_path):
+        w = generate_workload(0)
+        events, regions = w.session
+        cut = len(events) // 2
+        machine = make_machine(w.config, "predictive")
+        replay_session((events[:cut], regions), machine, finish=False)
+        save_checkpoint(machine, tmp_path / "mid.json")
+        resumed = restore_machine(load_checkpoint(tmp_path / "mid.json"))
+        replay_session((events[cut:], regions), resumed,
+                       regions=[], finish=False)
+        assert snapshot_machine(resumed) == _run_full(w, "predictive")
+
+    def test_every_prefix_resumes_identically(self):
+        # exhaustive over one short workload: cut after each event
+        w = generate_workload(1)
+        events, _ = w.session
+        want = {p: _run_full(w, p) for p in w.protocols}
+        for proto in w.protocols:
+            for cut in range(1, len(events)):
+                _, resumed = _run_interrupted(w, proto, cut=cut)
+                assert resumed == want[proto], f"cut={cut} proto={proto}"
+
+
+class TestGuards:
+    def test_mid_flight_snapshot_is_refused(self):
+        w = generate_workload(0)
+        machine = make_machine(w.config, "stache")
+        replay_session(w.session, machine, finish=False)
+        machine.engine.schedule_after(10.0, lambda: None)
+        with pytest.raises(SimulationError, match="quiescent"):
+            snapshot_machine(machine)
+
+    def test_version_mismatch_is_refused(self):
+        w = generate_workload(0)
+        snap = _run_full(w, "stache")
+        assert snap["version"] == CHECKPOINT_VERSION
+        bad = dict(snap)
+        bad["version"] = CHECKPOINT_VERSION + 1
+        with pytest.raises(SimulationError, match="version"):
+            restore_machine(bad)
+
+    def test_finish_false_leaves_stats_open(self):
+        w = generate_workload(0)
+        machine = make_machine(w.config, "stache")
+        stats = replay_session(w.session, machine, finish=False)
+        assert stats is machine.stats
+        # the machine is still live: snapshot, then close out normally
+        snapshot_machine(machine)
+        machine.finish()

@@ -122,3 +122,56 @@ class TestControls:
         n = eng.run()
         assert n == 5
         assert eng.total_dispatched == 5
+
+
+class TestEdgeCases:
+    def test_cancel_everything_before_run(self):
+        eng = Engine()
+        events = [eng.schedule(float(t), lambda: None) for t in range(5)]
+        for ev in events:
+            ev.cancel()
+        assert eng.pending == 0
+        assert eng.run() == 0
+        assert eng.now == 0.0  # nothing dispatched, clock never moved
+
+    def test_pending_prunes_cancelled_events(self):
+        eng = Engine()
+        events = [eng.schedule(float(t), lambda: None) for t in range(6)]
+        for ev in events[::2]:
+            ev.cancel()
+        assert eng.pending == 3
+        # pruned for real, not merely skipped: the heap no longer holds them
+        assert len(eng._queue) == 3
+        assert all(not ev.cancelled for ev in eng._queue)
+
+    def test_max_events_cutoff_mid_timestep(self):
+        eng = Engine()
+        seen = []
+        for i in range(10):
+            eng.schedule(1.0, lambda i=i: seen.append(i))
+        with pytest.raises(SimulationError, match="max_events"):
+            eng.run(max_events=4)
+        # the cutoff fired after exactly 4 same-timestamp dispatches,
+        # FIFO order preserved, and the rest stayed queued
+        assert seen == [0, 1, 2, 3]
+        assert eng.pending == 6
+        eng.run()
+        assert seen == list(range(10))
+
+    def test_peek_time_after_drain(self):
+        eng = Engine()
+        eng.schedule(3.0, lambda: None)
+        eng.run()
+        assert eng.peek_time() is None
+        assert eng.pending == 0
+        # the engine is still usable after draining
+        eng.schedule_after(1.0, lambda: None)
+        assert eng.peek_time() == 4.0
+
+    def test_cancel_during_dispatch(self):
+        eng = Engine()
+        seen = []
+        later = eng.schedule(2.0, lambda: seen.append("later"))
+        eng.schedule(1.0, lambda: later.cancel())
+        eng.run()
+        assert seen == []

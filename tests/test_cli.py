@@ -95,3 +95,23 @@ class TestDumpAst:
         assert main(["compile", str(f)]) == 0
         out2 = capsys.readouterr().out
         assert "2 phase group(s) placed" in out2
+
+
+class TestFaultsCommand:
+    def test_list_plans_includes_crash_plans(self, capsys):
+        assert main(["faults", "--list-plans"]) == 0
+        out = capsys.readouterr().out
+        for name in ("drop", "chaos", "crash", "crash-storm", "crash-lossy"):
+            assert name in out
+
+    def test_unknown_plan_rejected(self, capsys):
+        assert main(["faults", "--plans", "no-such-plan"]) == 2
+        assert "unknown" in capsys.readouterr().err.lower()
+
+    def test_crash_campaign_smoke(self, capsys):
+        rc = main(["faults", "--crash", "--seeds", "1", "--no-traces",
+                   "--protocols", "stache"])
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "no coherence violations" in out
+        assert "fault campaign: 3 plan(s)" in out

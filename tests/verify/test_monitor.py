@@ -166,3 +166,44 @@ class TestViolationReports:
             InvariantMonitor(seed=5, policy=policy).check(m)
         assert ei.value.seed == 5
         assert ei.value.schedule == [1, 1]
+
+
+class TestDeadNodeReferences:
+    """The crash-recovery self-check: after a node dies, no surviving
+    directory entry or predictive schedule may still reference it."""
+
+    def test_clean_machine_has_no_refs(self):
+        from repro.verify.monitor import dead_node_references
+
+        m, b = small_machine(n_nodes=3)
+        run_one_phase(m, {1: [("r", b)]})
+        # nothing is down, so the default query is empty...
+        assert dead_node_references(m) == []
+        # ...and an unreferenced node has no refs either
+        assert dead_node_references(m, {2}) == []
+
+    def test_sharer_reference_is_found(self):
+        from repro.verify.monitor import dead_node_references
+
+        m, b = small_machine(n_nodes=3)
+        run_one_phase(m, {1: [("r", b)]})
+        refs = dead_node_references(m, {1})
+        assert refs, "node 1 shares the block; its death must be visible"
+        assert any("sharer" in r for r in refs)
+
+    def test_owner_reference_is_found(self):
+        from repro.verify.monitor import dead_node_references
+
+        m, b = small_machine(n_nodes=3)
+        run_one_phase(m, {2: [("w", b)]})
+        refs = dead_node_references(m, {2})
+        assert any("owner" in r for r in refs)
+
+    def test_schedule_reference_is_found(self):
+        from repro.verify.monitor import dead_node_references
+
+        m, b = small_machine(protocol="predictive", n_nodes=3)
+        m.begin_group("d0")
+        run_one_phase(m, {1: [("r", b)]})
+        m.end_group()
+        assert any("schedule" in r for r in dead_node_references(m, {1}))
