@@ -6,6 +6,7 @@ from dataclasses import dataclass, field
 from typing import Any, Callable
 
 from repro.core import make_machine
+from repro.obs.metrics import MetricsRegistry, registry_from_run
 from repro.sim.stats import RunStats
 from repro.util.config import MachineConfig
 from repro.util.tables import format_bar_chart, format_table
@@ -36,14 +37,37 @@ class VersionResult:
     def breakdown(self) -> dict[str, float]:
         return self.stats.figure_breakdown()
 
+    def metrics(self, **labels) -> MetricsRegistry:
+        """This version's stats as a metrics registry (repro.obs schema).
 
-def run_version(spec: VersionSpec) -> VersionResult:
-    """Build the program, run it on a fresh machine, and collect stats."""
+        Every series carries the version/protocol/block-size labels (plus
+        any caller-supplied ones, e.g. ``figure=...``), which is what lets
+        ablation and sweep results merge into one registry instead of
+        ad-hoc dicts.
+        """
+        return registry_from_run(
+            self.stats,
+            version=self.spec.label,
+            protocol=self.spec.protocol,
+            optimized=self.spec.optimized,
+            block_size=self.spec.config.block_size,
+            **labels,
+        )
+
+
+def run_version(spec: VersionSpec, tracer=None) -> VersionResult:
+    """Build the program, run it on a fresh machine, and collect stats.
+
+    ``tracer`` optionally attaches a :class:`repro.obs.events.Tracer` to the
+    machine so benchmark runs can export event timelines.
+    """
     kwargs = dict(spec.build_kwargs)
     if spec.variant != "cstar":
         kwargs["variant"] = spec.variant
     prog = spec.app.build(**kwargs)
     machine = make_machine(spec.config, spec.protocol)
+    if tracer is not None:
+        machine.attach_tracer(tracer)
     env = prog.run(machine, optimized=spec.optimized)
     stats = env.finish()
     stats.check_conservation()
@@ -69,6 +93,12 @@ class FigureResult:
         """Execution time relative to the fastest version (paper's y-axis)."""
         fastest = min(v.wall for v in self.versions)
         return self.result(label).wall / fastest
+
+    def metrics(self) -> MetricsRegistry:
+        """All versions' stats merged into one registry, tagged by figure."""
+        return MetricsRegistry.merge_all(
+            v.metrics(figure=self.name) for v in self.versions
+        )
 
     def render(self, width: int = 56) -> str:
         bars = [(v.spec.label, v.breakdown()) for v in self.versions]

@@ -72,7 +72,9 @@ def _cmd_compile(args: argparse.Namespace) -> int:
     return 0
 
 
-def _cmd_run(args: argparse.Namespace) -> int:
+def _simulate_file(args: argparse.Namespace, tracer=None):
+    """Compile ``args.file`` and run it on a machine built from the common
+    run/trace/profile options; returns (stats, config)."""
     from repro.core import make_machine
     from repro.cstar import compile_source
     from repro.util.config import MachineConfig
@@ -81,18 +83,113 @@ def _cmd_run(args: argparse.Namespace) -> int:
     cfg = MachineConfig(n_nodes=args.nodes, block_size=args.block_size,
                         page_size=max(args.page_size, args.block_size))
     machine = make_machine(cfg, args.protocol)
+    if tracer is not None:
+        machine.attach_tracer(tracer)
     env = program.run(machine, optimized=not args.unoptimized)
-    stats = env.finish()
-    print(f"protocol={args.protocol} nodes={args.nodes} "
-          f"block={args.block_size}B optimized={not args.unoptimized}")
+    return env.finish(), cfg
+
+
+def _run_meta(args: argparse.Namespace) -> dict:
+    return dict(app=args.file, protocol=args.protocol, nodes=args.nodes,
+                block_size=args.block_size, optimized=not args.unoptimized)
+
+
+def _write_json(path: str, doc: dict) -> None:
+    import json
+    import pathlib
+
+    out = pathlib.Path(path)
+    if out.parent != pathlib.Path():
+        out.parent.mkdir(parents=True, exist_ok=True)
+    out.write_text(json.dumps(doc, indent=2, sort_keys=True) + "\n")
+
+
+def _export_trace(path: str, tracer, n_nodes: int) -> list[str]:
+    """Write a Chrome trace and validate it; returns the problem list."""
+    from repro.obs import validate_chrome_trace, write_chrome_trace
+
+    doc = write_chrome_trace(path, tracer.events, n_nodes)
+    problems = validate_chrome_trace(doc)
+    print(f"trace: {len(tracer.events)} events -> {path} "
+          f"({'VALID' if not problems else 'INVALID'} Chrome trace)")
+    for problem in problems:
+        print(f"  trace problem: {problem}", file=sys.stderr)
+    return problems
+
+
+def _cmd_run(args: argparse.Namespace) -> int:
+    tracer = None
+    if args.trace:
+        from repro.obs import EventTrace
+
+        tracer = EventTrace()
+    stats, cfg = _simulate_file(args, tracer)
+    meta = _run_meta(args)
+
+    if args.json:
+        import json
+
+        from repro.obs import run_stats_json
+
+        doc = run_stats_json(stats, **meta)
+        if args.json == "-":
+            print(json.dumps(doc, indent=2, sort_keys=True))
+        else:
+            _write_json(args.json, doc)
+    if args.json != "-":
+        print(f"protocol={args.protocol} nodes={args.nodes} "
+              f"block={args.block_size}B optimized={not args.unoptimized}")
+        from repro.util.tables import format_table
+
+        print(format_table(["metric", "value"], stats.summary_rows(),
+                           floatfmt=".6g"))
+        if args.trace_stats:
+            print()
+            print(f"(phase count: {len(stats.phases)})")
+    if args.metrics_out:
+        from repro.obs import registry_from_run
+
+        _write_json(args.metrics_out,
+                    registry_from_run(stats, **meta).to_dict())
+    if args.trace and _export_trace(args.trace, tracer, cfg.n_nodes):
+        return 1
+    return 0
+
+
+def _cmd_trace(args: argparse.Namespace) -> int:
+    """Run a program with tracing on; export (and validate) the timeline."""
+    from repro.obs import EventTrace, write_jsonl
     from repro.util.tables import format_table
 
-    print(format_table(["metric", "value"], stats.summary_rows(), floatfmt=".6g"))
-    if args.trace_stats:
-        from repro.tempest.tracestats import TraceStats
+    tracer = EventTrace()
+    stats, cfg = _simulate_file(args, tracer)
+    print(f"protocol={args.protocol} nodes={args.nodes} "
+          f"block={args.block_size}B optimized={not args.unoptimized} "
+          f"wall={stats.wall_time:g} cycles")
+    rows = [[kind, float(n)] for kind, n in sorted(tracer.counts().items())]
+    print(format_table(["event kind", "count"], rows, floatfmt=".0f"))
+    if args.jsonl:
+        n = write_jsonl(args.jsonl, tracer.events)
+        print(f"event log: {n} events -> {args.jsonl}")
+    problems = _export_trace(args.out, tracer, cfg.n_nodes)
+    return 1 if problems else 0
 
-        print()
-        print(f"(phase count: {len(stats.phases)})")
+
+def _cmd_profile(args: argparse.Namespace) -> int:
+    """Run a program with tracing on; print the per-phase profile."""
+    from repro.obs import EventTrace, profile_run
+
+    tracer = EventTrace()
+    stats, cfg = _simulate_file(args, tracer)
+    report = profile_run(stats, tracer)
+    print(f"protocol={args.protocol} nodes={args.nodes} "
+          f"block={args.block_size}B optimized={not args.unoptimized} "
+          f"wall={stats.wall_time:g} cycles")
+    print()
+    print(report.render())
+    if args.json:
+        _write_json(args.json, report.to_dict())
+        print(f"\nprofile written to {args.json}")
     return 0
 
 
@@ -169,6 +266,45 @@ def _cmd_reproduce(args: argparse.Namespace) -> int:
     out.parent.mkdir(parents=True, exist_ok=True)
     out.write_text(text + "\n")
     print(f"\nreport written to {out}")
+
+    figure_results = [fig5, fig6, fig7]
+    if args.json:
+        from repro.obs import STATS_SCHEMA, run_stats_json
+
+        doc = {
+            "schema": "repro.reproduce/v1",
+            "stats_schema": STATS_SCHEMA,
+            "sections": [title for title, _ in sections],
+            "runs": [
+                run_stats_json(v.stats, figure=fig.name, version=v.spec.label,
+                               protocol=v.spec.protocol,
+                               optimized=v.spec.optimized,
+                               block_size=v.spec.config.block_size)
+                for fig in figure_results for v in fig.versions
+            ],
+        }
+        _write_json(args.json, doc)
+        print(f"figure stats written to {args.json}")
+    if args.metrics_out:
+        from repro.obs import MetricsRegistry
+
+        merged = MetricsRegistry.merge_all(f.metrics() for f in figure_results)
+        _write_json(args.metrics_out, merged.to_dict())
+        print(f"metrics written to {args.metrics_out}")
+    if args.trace:
+        # Timeline of the paper's headline configuration: optimized water
+        # under the predictive protocol (Figure 7's fastest bar).
+        from repro.apps import water
+        from repro.bench.figures import WATER_CFG, WATER_KW
+        from repro.bench.harness import VersionSpec, run_version
+        from repro.obs import EventTrace
+
+        spec = VersionSpec("C** opt (32)", water, "predictive", True,
+                           WATER_CFG.with_(block_size=32), dict(WATER_KW))
+        tracer = EventTrace()
+        run_version(spec, tracer=tracer)
+        if _export_trace(args.trace, tracer, spec.config.n_nodes):
+            return 1
     return 0
 
 
@@ -310,6 +446,30 @@ def _cmd_faults(args: argparse.Namespace) -> int:
         dump_scripts=args.dump_scripts,
     )
     print(report.summary())
+
+    if args.trace or args.metrics_out:
+        # One representative traced run: the first selected plan against the
+        # first generated workload, so the timeline shows faults in context.
+        from repro.obs import EventTrace, registry_from_run
+        from repro.verify.oracle import run_workload
+        from repro.verify.workload import generate_workload
+
+        plan_name, plan = next(iter((plans or registry).items()))
+        protocol = (protocols or ["predictive"])[0]
+        workload = generate_workload(0)
+        tracer = EventTrace()
+        obs = run_workload(workload, protocol, fault_plan=plan, tracer=tracer)
+        if args.metrics_out:
+            _write_json(
+                args.metrics_out,
+                registry_from_run(obs.stats, app="fuzz-seed0",
+                                  protocol=protocol,
+                                  plan=plan_name).to_dict(),
+            )
+            print(f"metrics written to {args.metrics_out}")
+        if args.trace and _export_trace(args.trace, tracer,
+                                        workload.config.n_nodes):
+            return 1
     return 0 if report.ok else 1
 
 
@@ -328,17 +488,54 @@ def build_parser() -> argparse.ArgumentParser:
                    help="pretty-print the parsed program before the analysis")
     p.set_defaults(fn=_cmd_compile)
 
+    def add_machine_options(p: argparse.ArgumentParser) -> None:
+        p.add_argument("file")
+        p.add_argument("--protocol", default="predictive",
+                       choices=["stache", "predictive", "write-update"])
+        p.add_argument("--nodes", type=int, default=8)
+        p.add_argument("--block-size", type=int, default=32)
+        p.add_argument("--page-size", type=int, default=512)
+        p.add_argument("--unoptimized", action="store_true",
+                       help="ignore compiler directives (the paper's baseline)")
+
     p = sub.add_parser("run", help="compile and simulate a C** file")
-    p.add_argument("file")
-    p.add_argument("--protocol", default="predictive",
-                   choices=["stache", "predictive", "write-update"])
-    p.add_argument("--nodes", type=int, default=8)
-    p.add_argument("--block-size", type=int, default=32)
-    p.add_argument("--page-size", type=int, default=512)
-    p.add_argument("--unoptimized", action="store_true",
-                   help="ignore compiler directives (the paper's baseline)")
+    add_machine_options(p)
     p.add_argument("--trace-stats", action="store_true")
+    p.add_argument("--json", nargs="?", const="-", metavar="PATH",
+                   help="emit machine-readable run stats (repro.run-stats/v1) "
+                        "to PATH, or to stdout instead of the table if PATH "
+                        "is omitted or '-'")
+    p.add_argument("--metrics-out", metavar="PATH",
+                   help="write the run's metrics registry "
+                        "(repro.metrics/v1 JSON) to PATH")
+    p.add_argument("--trace", metavar="PATH",
+                   help="run with event tracing on and export a Chrome/"
+                        "Perfetto trace.json timeline to PATH")
     p.set_defaults(fn=_cmd_run)
+
+    p = sub.add_parser(
+        "trace",
+        help="run a C** file with event tracing on; export a validated "
+             "Chrome/Perfetto trace.json timeline",
+    )
+    add_machine_options(p)
+    p.add_argument("-o", "--out", default="trace.json",
+                   help="output path for the Chrome trace (default: "
+                        "trace.json; open in Perfetto or chrome://tracing)")
+    p.add_argument("--jsonl", metavar="PATH",
+                   help="also write the raw event log as JSON lines")
+    p.set_defaults(fn=_cmd_trace)
+
+    p = sub.add_parser(
+        "profile",
+        help="run a C** file with event tracing on; print the per-phase "
+             "profile and schedule-quality analytics",
+    )
+    add_machine_options(p)
+    p.add_argument("--json", metavar="PATH",
+                   help="also write the profile (repro.profile/v1 JSON) "
+                        "to PATH")
+    p.set_defaults(fn=_cmd_profile)
 
     p = sub.add_parser("figure", help="regenerate a paper table/figure")
     p.add_argument("name", choices=["table1", "fig5", "fig6", "fig7"])
@@ -353,6 +550,15 @@ def build_parser() -> argparse.ArgumentParser:
         help="run every table, figure, ablation, and sweep; write a report",
     )
     p.add_argument("--output", default="benchmarks/results/REPORT.txt")
+    p.add_argument("--json", metavar="PATH",
+                   help="also write per-figure run stats "
+                        "(repro.reproduce/v1 JSON) to PATH")
+    p.add_argument("--metrics-out", metavar="PATH",
+                   help="write all figures' merged metrics registry "
+                        "(repro.metrics/v1 JSON) to PATH")
+    p.add_argument("--trace", metavar="PATH",
+                   help="also export a Chrome trace of the optimized water "
+                        "run (Figure 7's fastest bar) to PATH")
     p.set_defaults(fn=_cmd_reproduce)
 
     p = sub.add_parser("audit", help="audit protocol transition tables")
@@ -418,6 +624,12 @@ def build_parser() -> argparse.ArgumentParser:
                         "when possible) as JSON into DIR")
     p.add_argument("--list-plans", action="store_true",
                    help="list the bundled fault plans and exit")
+    p.add_argument("--metrics-out", metavar="PATH",
+                   help="write the metrics registry of one representative "
+                        "faulted run (repro.metrics/v1 JSON) to PATH")
+    p.add_argument("--trace", metavar="PATH",
+                   help="export a Chrome trace of one representative "
+                        "faulted run to PATH")
     p.set_defaults(fn=_cmd_faults)
 
     return parser

@@ -41,6 +41,7 @@ from repro.core.schedule import (
     ScheduleStore,
     coalesce_blocks,
 )
+from repro.obs.events import EventKind as Ev
 from repro.protocols.directory import DirState
 from repro.protocols.messages import MessageKind as MK
 from repro.protocols.stache import StacheProtocol
@@ -111,6 +112,13 @@ class PredictiveProtocol(StacheProtocol):
         #: (useful) or pre-sent again unconsumed (confirmed waste)
         self._pending_judgment: dict[tuple[int, int], CommSchedule] = {}
         machine.access_hooks.append(self._judge_access)
+        self.schedules.on_evict = self._note_evict
+
+    def _note_evict(self, directive_id: int) -> None:
+        obs = self.machine.obs
+        if obs.enabled:
+            obs.emit(Ev.SCHED_EVICT, self.machine.engine.now,
+                     evicted_directive=directive_id)
 
     # -- schedule access -----------------------------------------------------------
 
@@ -121,6 +129,10 @@ class PredictiveProtocol(StacheProtocol):
         """FLUSH_SCHEDULE directive: rebuild from empty (§3.3)."""
         if directive_id in self.schedules:
             self.schedules[directive_id].flush()
+            obs = self.machine.obs
+            if obs.enabled:
+                obs.emit(Ev.SCHED_FLUSH, self.machine.engine.now,
+                         flushed_directive=directive_id)
 
     # -- part 1: building schedules (augmented home handlers) -----------------------
 
@@ -143,9 +155,13 @@ class PredictiveProtocol(StacheProtocol):
         sched.begin_instance()
         self._presented.clear()
         self._suppress_learning = False
+        obs = self.machine.obs
         if sched.wasted_streak >= self.degrade_patience:
             sched.degrade(self.degrade_cooldown)
             self.machine.stats.schedules_degraded += 1
+            if obs.enabled:
+                obs.emit(Ev.SCHED_DEGRADE, t,
+                         cooldown=self.degrade_cooldown)
             self._pending_judgment = {
                 pair: owner for pair, owner in self._pending_judgment.items()
                 if owner is not sched
@@ -157,8 +173,12 @@ class PredictiveProtocol(StacheProtocol):
                 # The schedule stops tracking reality this instance: pre-send
                 # from it as-is, but record none of this instance's faults.
                 self._suppress_learning = True
+                if obs.enabled:
+                    obs.emit(Ev.SCHED_STALE, t)
             elif action == "corrupt":
                 self._corrupt_schedule(sched)
+                if obs.enabled:
+                    obs.emit(Ev.SCHED_CORRUPT, t, entries=len(sched.entries))
         if sched.cooldown > 0:
             # Degraded: this phase group runs as plain Stache while the
             # misprediction source (hopefully) passes.
@@ -213,6 +233,10 @@ class PredictiveProtocol(StacheProtocol):
         if sched is not None:
             sched.note_presend_outcome(presented, useless)
             sched.fold_instance_judgment()
+        obs = self.machine.obs
+        if obs.enabled and presented:
+            obs.emit(Ev.PRESEND_OUTCOME, t, presented=presented,
+                     useless=useless)
 
     def _corrupt_schedule(self, sched: CommSchedule) -> None:
         """Injected corruption: flip every entry's anticipated direction.
@@ -264,7 +288,7 @@ class PredictiveProtocol(StacheProtocol):
             # readable copy — so it enters deferred judgment like any other
             # pre-sent block: a schedule whose only effect is bringing the
             # block home before the home reads it is helping, not wasting.
-            self._register_presend(home, entry.block, sched)
+            self._register_presend(home, entry.block, sched, cursor)
         home_tags = self.machine.node(home).tags
         for reader in sorted(entry.readers):
             if reader == home:
@@ -339,7 +363,7 @@ class PredictiveProtocol(StacheProtocol):
         return cursor
 
     def _register_presend(self, dst: int, block: int,
-                          sched: CommSchedule) -> None:
+                          sched: CommSchedule, t: float) -> None:
         """Enter a transferred copy into deferred judgment.
 
         Re-transferring a pair that is still pending means the earlier copy
@@ -350,6 +374,10 @@ class PredictiveProtocol(StacheProtocol):
         prev = self._pending_judgment.get((dst, block))
         if prev is not None:
             prev.note_waste()
+            obs = self.machine.obs
+            if obs.enabled:
+                obs.emit(Ev.PRESEND_WASTE, t, node=dst, block=block,
+                         src_directive=prev.directive_id)
         self._pending_judgment[(dst, block)] = sched
 
     def _judge_access(self, node: int, block: int, kind: str) -> None:
@@ -357,6 +385,11 @@ class PredictiveProtocol(StacheProtocol):
         sched = self._pending_judgment.pop((node, block), None)
         if sched is not None:
             sched.note_useful()
+            obs = self.machine.obs
+            if obs.enabled:
+                obs.emit(Ev.PRESEND_CONSUMED, self.machine.engine.now,
+                         node=node, block=block,
+                         src_directive=sched.directive_id)
 
     def _send_bulk(self, home: int, outgoing, cursor: float,
                    sched: CommSchedule) -> float:
@@ -382,13 +415,18 @@ class PredictiveProtocol(StacheProtocol):
                     bulk=count > 1,
                 )
                 self.send(msg, cursor)
+                obs = self.machine.obs
+                if obs.enabled:
+                    obs.emit(Ev.PRESEND_MSG, cursor, node=home, dst=dst,
+                             block=first, blocks=count, bulk=msg.bulk,
+                             grant="rw" if kind == MK.PRESEND_RW else "ro")
                 cursor += self.config.handler_cost  # injection occupancy
                 self.presend_messages += 1
                 self.presend_blocks += count
                 stats.presend_blocks_sent += count
                 self._presented.update((dst, b) for b in run)
                 for b in run:
-                    self._register_presend(dst, b, sched)
+                    self._register_presend(dst, b, sched, cursor)
         return cursor
 
     # -- receiving pre-sent data ----------------------------------------------------------

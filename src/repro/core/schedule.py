@@ -290,6 +290,9 @@ class ScheduleStore:
         self.capacity = capacity
         self._store: "OrderedDict[int, CommSchedule]" = OrderedDict()
         self.evictions = 0
+        #: optional observer called with each evicted directive id (the
+        #: predictive protocol routes this to the tracing bus)
+        self.on_evict: Callable[[int], None] | None = None
 
     def fetch(self, directive_id: int) -> CommSchedule:
         """Get-or-create the schedule for a directive; marks it used."""
@@ -298,8 +301,10 @@ class ScheduleStore:
             sched = CommSchedule(directive_id)
             self._store[directive_id] = sched
             while len(self._store) > self.capacity:
-                self._store.popitem(last=False)
+                evicted, _ = self._store.popitem(last=False)
                 self.evictions += 1
+                if self.on_evict is not None:
+                    self.on_evict(evicted)
         else:
             self._store.move_to_end(directive_id)
         return sched
@@ -309,8 +314,10 @@ class ScheduleStore:
         self._store[sched.directive_id] = sched
         self._store.move_to_end(sched.directive_id)
         while len(self._store) > self.capacity:
-            self._store.popitem(last=False)
+            evicted, _ = self._store.popitem(last=False)
             self.evictions += 1
+            if self.on_evict is not None:
+                self.on_evict(evicted)
 
     # -- read-only dict flavour ------------------------------------------------
 

@@ -25,6 +25,7 @@ from __future__ import annotations
 
 from typing import TYPE_CHECKING
 
+from repro.obs.events import EventKind
 from repro.tempest.network import Message
 from repro.util.errors import TransportTimeout
 
@@ -116,9 +117,13 @@ class ReliableTransport:
         now = self.machine.engine.now
         stats = self.machine.node(msg.src).stats
         plan = self.plan
+        obs = self.machine.obs
         if (pend.retries >= plan.max_retries
                 or now - pend.first_sent >= plan.timeout_budget):
             stats.transport_timeouts += 1
+            if obs.enabled:
+                obs.emit(EventKind.TIMEOUT, now, node=msg.src, dst=msg.dst,
+                         block=msg.block, retries=pend.retries)
             doomed = self.injector.last_fault_for(msg.src, msg.dst, msg.seq)
             raise TransportTimeout(
                 f"gave up on {msg} after {pend.retries} retries "
@@ -128,6 +133,9 @@ class ReliableTransport:
             )
         pend.retries += 1
         stats.transport_retries += 1
+        if obs.enabled:
+            obs.emit(EventKind.RETRY, now, node=msg.src, dst=msg.dst,
+                     block=msg.block, attempt=pend.retries)
         msg.resends = pend.retries
         self.machine.network.send(msg, now)
         self._arm_timer(ch, pend, now)
@@ -150,6 +158,10 @@ class ReliableTransport:
             return [msg]  # untracked message (not sent through transport)
         if seq < ch.next_expected or seq in ch.held:
             self.machine.node(msg.dst).stats.duplicates_suppressed += 1
+            obs = self.machine.obs
+            if obs.enabled:
+                obs.emit(EventKind.DUP_SUPPRESSED, t, node=msg.dst,
+                         src=msg.src, seq=seq)
             return []
         if seq > ch.next_expected:
             ch.held[seq] = msg

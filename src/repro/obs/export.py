@@ -1,0 +1,270 @@
+"""Trace exporters: Chrome/Perfetto timeline, JSONL event log, validator.
+
+The Chrome trace-event JSON format (the ``trace.json`` loadable in
+``chrome://tracing`` and https://ui.perfetto.dev) models a trace as a flat
+list of events with a phase letter ``ph``:
+
+* ``X`` — complete slice (``ts`` + ``dur``),
+* ``i`` — instant,
+* ``s`` / ``f`` — flow start/finish (the arrows between tracks),
+* ``M`` — metadata (process/thread names).
+
+We map one simulated machine to one process (``pid`` 0), with thread 0 as
+the machine-global track (phase spans, barrier releases, pre-send group
+spans) and thread ``i + 1`` as node ``i``'s track (miss slices, message
+endpoints, crash/restart instants).  Simulated cycles are exported 1:1 as
+microseconds — the viewer's time unit — so a 40 000-cycle phase reads as a
+40 ms span.
+
+:func:`validate_chrome_trace` is the structural check the CI trace smoke
+runs; it is deliberately dependency-free (no jsonschema) and verifies the
+invariants the viewers actually require: phase letters, non-negative
+durations, matched flow ids, and named tracks.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Iterable
+
+from repro.obs.events import EventKind, TraceEvent
+
+#: events rendered as instants on their node's track
+_INSTANT_KINDS = {
+    EventKind.INVALIDATE: "invalidate",
+    EventKind.RECALL: "recall",
+    EventKind.PRESEND_CONSUMED: "presend used",
+    EventKind.PRESEND_WASTE: "presend waste",
+    EventKind.SCHED_DEGRADE: "schedule degraded",
+    EventKind.SCHED_FLUSH: "schedule flush",
+    EventKind.SCHED_EVICT: "schedule evict",
+    EventKind.SCHED_STALE: "schedule stale",
+    EventKind.SCHED_CORRUPT: "schedule corrupt",
+    EventKind.RETRY: "retry",
+    EventKind.TIMEOUT: "send timeout",
+    EventKind.DUP_SUPPRESSED: "dup suppressed",
+    EventKind.CRASH: "CRASH",
+    EventKind.DETECT: "crash detected",
+    EventKind.RESTART: "RESTART",
+    EventKind.REISSUE: "reissue",
+    EventKind.BARRIER_ARRIVE: "barrier arrive",
+    EventKind.BARRIER_RELEASE: "barrier release",
+}
+
+_PID = 0
+_MACHINE_TID = 0
+
+
+def _tid(node: int | None) -> int:
+    return _MACHINE_TID if node is None else node + 1
+
+
+def _args(ev: TraceEvent) -> dict[str, Any]:
+    args: dict[str, Any] = dict(ev.attrs)
+    if ev.phase is not None:
+        args["phase"] = ev.phase
+    if ev.iteration is not None:
+        args["iteration"] = ev.iteration
+    if ev.directive is not None:
+        args["directive"] = ev.directive
+    return args
+
+
+def chrome_trace_document(events: Iterable[TraceEvent],
+                          n_nodes: int) -> dict[str, Any]:
+    """Build a Chrome trace-event document from a recorded event stream."""
+    out: list[dict[str, Any]] = []
+
+    out.append({"ph": "M", "pid": _PID, "name": "process_name",
+                "args": {"name": "repro machine"}})
+    out.append({"ph": "M", "pid": _PID, "tid": _MACHINE_TID,
+                "name": "thread_name", "args": {"name": "machine"}})
+    for i in range(n_nodes):
+        out.append({"ph": "M", "pid": _PID, "tid": _tid(i),
+                    "name": "thread_name", "args": {"name": f"node {i}"}})
+
+    # open spans keyed by what will close them
+    phase_open: dict[str, Any] | None = None
+    group_open: dict[str, Any] | None = None
+    miss_open: dict[tuple[int | None, Any], TraceEvent] = {}
+    sends: dict[Any, TraceEvent] = {}
+
+    def slice_(name: str, ts: float, dur: float, tid: int,
+               args: dict[str, Any], cat: str) -> dict[str, Any]:
+        return {"ph": "X", "pid": _PID, "tid": tid, "name": name,
+                "cat": cat, "ts": ts, "dur": max(dur, 0.0), "args": args}
+
+    for ev in events:
+        kind = ev.kind
+        if kind == EventKind.PHASE_BEGIN:
+            phase_open = {"ts": ev.ts, "ev": ev}
+        elif kind == EventKind.PHASE_END and phase_open is not None:
+            begin = phase_open["ev"]
+            name = f"{begin.phase}#{begin.iteration}"
+            out.append(slice_(name, phase_open["ts"],
+                              ev.ts - phase_open["ts"], _MACHINE_TID,
+                              _args(begin), "phase"))
+            phase_open = None
+        elif kind == EventKind.GROUP_BEGIN:
+            group_open = {"ts": ev.ts, "ev": ev}
+        elif kind == EventKind.GROUP_END and group_open is not None:
+            begin = group_open["ev"]
+            out.append(slice_(f"group d{begin.directive}", group_open["ts"],
+                              ev.ts - group_open["ts"], _MACHINE_TID,
+                              _args(begin), "group"))
+            group_open = None
+        elif kind == EventKind.PRESEND_PHASE:
+            dur = float(ev.attrs.get("cycles", 0.0))
+            out.append(slice_("pre-send", ev.ts, dur, _MACHINE_TID,
+                              _args(ev), "presend"))
+        elif kind == EventKind.MISS_BEGIN:
+            miss_open[(ev.node, ev.attrs.get("block"))] = ev
+        elif kind == EventKind.MISS_END:
+            begin = miss_open.pop((ev.node, ev.attrs.get("block")), None)
+            start = begin.ts if begin is not None else ev.ts
+            args = _args(begin if begin is not None else ev)
+            args.update(ev.attrs)
+            out.append(slice_(f"miss b{ev.attrs.get('block')}", start,
+                              ev.ts - start, _tid(ev.node), args, "miss"))
+        elif kind == EventKind.MSG_SEND:
+            msg_id = ev.attrs.get("msg_id")
+            if msg_id is not None:
+                sends[msg_id] = ev
+        elif kind == EventKind.MSG_RECV:
+            msg_id = ev.attrs.get("msg_id")
+            send = sends.pop(msg_id, None) if msg_id is not None else None
+            name = str(ev.attrs.get("msg_kind", "msg"))
+            cat = "presend-msg" if "presend" in name.lower() else "msg"
+            if send is not None:
+                out.append(slice_(name, send.ts, 0.0, _tid(send.node),
+                                  _args(send), cat))
+                out.append({"ph": "s", "pid": _PID, "tid": _tid(send.node),
+                            "name": name, "cat": cat, "id": msg_id,
+                            "ts": send.ts})
+                out.append({"ph": "f", "pid": _PID, "tid": _tid(ev.node),
+                            "name": name, "cat": cat, "id": msg_id,
+                            "ts": ev.ts, "bp": "e"})
+            out.append(slice_(name, ev.ts, 0.0, _tid(ev.node),
+                              _args(ev), cat))
+        elif kind in (EventKind.MSG_DROP, EventKind.MSG_DUP):
+            out.append({"ph": "i", "pid": _PID, "tid": _tid(ev.node),
+                        "name": "drop" if kind == EventKind.MSG_DROP else "dup",
+                        "cat": "fault", "s": "t", "ts": ev.ts,
+                        "args": _args(ev)})
+        elif kind in _INSTANT_KINDS:
+            out.append({"ph": "i", "pid": _PID, "tid": _tid(ev.node),
+                        "name": _INSTANT_KINDS[kind], "cat": kind,
+                        "s": "t", "ts": ev.ts, "args": _args(ev)})
+        # ENGINE_RUN and unmatched begins are bookkeeping, not timeline items
+
+    return {"traceEvents": out, "displayTimeUnit": "ms",
+            "otherData": {"generator": "repro.obs", "cycles_per_us": 1}}
+
+
+def write_chrome_trace(path, events: Iterable[TraceEvent],
+                       n_nodes: int) -> dict[str, Any]:
+    doc = chrome_trace_document(events, n_nodes)
+    with open(path, "w") as fh:
+        json.dump(doc, fh, indent=1)
+        fh.write("\n")
+    return doc
+
+
+# --------------------------------------------------------------------------- #
+# validation
+# --------------------------------------------------------------------------- #
+
+_VALID_PH = {"X", "B", "E", "i", "I", "s", "t", "f", "M", "C"}
+
+
+def validate_chrome_trace(doc: dict[str, Any]) -> list[str]:
+    """Structurally validate a Chrome trace document.
+
+    Returns a list of problems (empty = valid).  Checks the invariants the
+    trace viewers require rather than the full (loosely specified) format:
+    every event has a known ``ph``; timed events carry numeric ``ts``;
+    ``X`` slices have non-negative ``dur``; flow starts and finishes pair up
+    by id; metadata names every referenced thread.
+    """
+    problems: list[str] = []
+    events = doc.get("traceEvents")
+    if not isinstance(events, list):
+        return ["traceEvents missing or not a list"]
+
+    flow_starts: set[Any] = set()
+    flow_ends: set[Any] = set()
+    named_tids: set[Any] = set()
+    used_tids: set[Any] = set()
+
+    for i, ev in enumerate(events):
+        where = f"event[{i}]"
+        if not isinstance(ev, dict):
+            problems.append(f"{where}: not an object")
+            continue
+        ph = ev.get("ph")
+        if ph not in _VALID_PH:
+            problems.append(f"{where}: unknown ph {ph!r}")
+            continue
+        if "pid" not in ev:
+            problems.append(f"{where}: missing pid")
+        if ph == "M":
+            if ev.get("name") not in ("process_name", "thread_name",
+                                      "process_labels", "thread_sort_index",
+                                      "process_sort_index"):
+                problems.append(f"{where}: unknown metadata {ev.get('name')!r}")
+            elif ev.get("name") == "thread_name":
+                named_tids.add(ev.get("tid"))
+            continue
+        if not isinstance(ev.get("ts"), (int, float)):
+            problems.append(f"{where}: ph={ph} missing numeric ts")
+        if not isinstance(ev.get("name"), str) or not ev.get("name"):
+            problems.append(f"{where}: missing name")
+        if "tid" in ev:
+            used_tids.add(ev["tid"])
+        if ph == "X":
+            dur = ev.get("dur")
+            if not isinstance(dur, (int, float)) or dur < 0:
+                problems.append(f"{where}: X slice needs dur >= 0, got {dur!r}")
+        elif ph in ("i", "I"):
+            if ev.get("s", "t") not in ("t", "p", "g"):
+                problems.append(f"{where}: instant scope {ev.get('s')!r}")
+        elif ph in ("s", "t", "f"):
+            if "id" not in ev:
+                problems.append(f"{where}: flow event missing id")
+            elif ph == "s":
+                flow_starts.add(ev["id"])
+            elif ph == "f":
+                flow_ends.add(ev["id"])
+
+    for fid in sorted(flow_ends - flow_starts, key=repr):
+        problems.append(f"flow finish id {fid!r} has no start")
+    for fid in sorted(flow_starts - flow_ends, key=repr):
+        problems.append(f"flow start id {fid!r} has no finish")
+    for tid in sorted(used_tids - named_tids, key=repr):
+        problems.append(f"tid {tid!r} used but never named via thread_name")
+    return problems
+
+
+# --------------------------------------------------------------------------- #
+# JSONL event log
+# --------------------------------------------------------------------------- #
+
+def write_jsonl(path, events: Iterable[TraceEvent]) -> int:
+    """Write one JSON object per line; returns the number of events."""
+    n = 0
+    with open(path, "w") as fh:
+        for ev in events:
+            fh.write(json.dumps(ev.to_dict(), sort_keys=True))
+            fh.write("\n")
+            n += 1
+    return n
+
+
+def load_jsonl(path) -> list[TraceEvent]:
+    out: list[TraceEvent] = []
+    with open(path) as fh:
+        for line in fh:
+            line = line.strip()
+            if line:
+                out.append(TraceEvent.from_dict(json.loads(line)))
+    return out

@@ -1,0 +1,89 @@
+"""Machine-readable run statistics (``repro run --json``).
+
+A stable, versioned JSON schema (:data:`STATS_SCHEMA`) so benchmarks and CI
+can diff runs without screen-scraping the terminal tables.  The document
+contains everything :class:`~repro.sim.stats.RunStats` knows — the paper's
+figure breakdown, per-node category cycles and counters, per-phase rows,
+and the resilience counters (emitted only when nonzero, mirroring the
+table output so fault-free documents stay minimal and fingerprint-stable).
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from repro.sim.stats import RunStats, TimeCategory
+
+STATS_SCHEMA = "repro.run-stats/v1"
+
+
+def run_stats_json(stats: RunStats, **meta: Any) -> dict[str, Any]:
+    """Serialize one run's statistics.
+
+    ``meta`` (e.g. ``app="water", protocol="predictive", nodes=16``) lands
+    under a ``"run"`` key so callers can stamp provenance without touching
+    the schema.
+    """
+    doc: dict[str, Any] = {
+        "schema": STATS_SCHEMA,
+        "run": {k: v for k, v in sorted(meta.items()) if v is not None},
+        "wall_time": stats.wall_time,
+        "figure_breakdown": stats.figure_breakdown(),
+        "totals": {
+            "local_hits": stats.local_hits,
+            "remote_misses": stats.misses,
+            "hit_rate": stats.hit_rate,
+            "messages": stats.messages,
+            "bytes_on_wire": stats.bytes_on_wire,
+            "remote_requests": stats.total_remote_requests,
+        },
+        "nodes": [
+            {
+                "node": n.node,
+                "cycles": {c.value: n.cycles[c] for c in TimeCategory},
+                "read_misses": n.read_misses,
+                "write_misses": n.write_misses,
+                "local_hits": n.local_hits,
+                "presend_blocks_sent": n.presend_blocks_sent,
+                "presend_blocks_received": n.presend_blocks_received,
+                "presend_useless_blocks": n.presend_useless_blocks,
+                "messages_sent": n.messages_sent,
+                "bytes_sent": n.bytes_sent,
+            }
+            for n in stats.nodes
+        ],
+        "phases": [
+            {
+                "name": p.phase_name,
+                "directive": p.directive_id,
+                "wall_start": p.wall_start,
+                "wall_end": p.wall_end,
+                "misses": p.misses,
+                "hits": p.hits,
+                "messages": p.messages,
+            }
+            for p in stats.phases
+        ],
+    }
+    resilience = _resilience(stats)
+    if resilience:
+        doc["resilience"] = resilience
+    return doc
+
+
+def _resilience(stats: RunStats) -> dict[str, Any]:
+    """Nonzero-only resilience counters, like ``_resilience_rows``."""
+    out: dict[str, Any] = {}
+    for key, value in (
+        ("transport_retries", stats.transport_retries),
+        ("transport_timeouts", stats.transport_timeouts),
+        ("duplicates_suppressed", stats.duplicates_suppressed),
+        ("schedules_degraded", stats.schedules_degraded),
+        ("crashes", stats.crashes),
+        ("reissued_requests", stats.reissued_requests),
+    ):
+        if value:
+            out[key] = value
+    if stats.crashes:
+        out["downtime_cycles"] = stats.downtime
+    return out

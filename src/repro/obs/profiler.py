@@ -1,0 +1,258 @@
+"""The phase profiler: attribute cycles and events to (phase, iteration).
+
+The paper's figures report end-of-run aggregates; the profiler answers the
+questions those aggregates hide — *which* phase regressed, *when* a schedule
+started mispredicting, how pre-send quality evolved across iterations.  It
+combines the run's :class:`~repro.sim.stats.RunStats` (per-phase wall/miss
+deltas, which exist even without tracing) with an
+:class:`~repro.obs.events.EventTrace` (which adds per-event attribution and
+the pre-send outcome events the schedule-quality table needs).
+
+Two tables come out:
+
+* the **phase timeline** — one row per (phase, iteration) execution, with
+  wall cycles, misses, hits, hit rate, and messages;
+* **schedule quality** — one row per (directive, instance) pre-send group,
+  with blocks sent, messages used, coalescing efficiency (blocks/message),
+  blocks consumed before invalidation, useless blocks, waste ratio,
+  prediction accuracy, and coverage (consumed / (consumed + misses during
+  the covered phases)).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Iterable
+
+from repro.obs.events import EventKind, EventTrace, TraceEvent
+from repro.util.tables import format_table
+
+
+@dataclass
+class PhaseProfile:
+    """One (phase, iteration) execution."""
+
+    phase: str
+    iteration: int
+    directive: int | None
+    wall_start: float
+    wall_end: float
+    misses: int = 0
+    hits: int = 0
+    messages: int = 0
+
+    @property
+    def wall(self) -> float:
+        return self.wall_end - self.wall_start
+
+    @property
+    def hit_rate(self) -> float:
+        total = self.hits + self.misses
+        return self.hits / total if total else 1.0
+
+
+@dataclass
+class ScheduleQuality:
+    """Pre-send quality for one (directive, instance) group execution."""
+
+    directive: int
+    instance: int          # 1-based execution ordinal of this directive
+    ts: float              # group begin time
+    blocks_sent: int = 0
+    messages: int = 0
+    consumed: int = 0      # pre-sent blocks used before invalidation
+    useless: int = 0       # pre-sent blocks invalidated or never touched
+    misses: int = 0        # remote misses during the phases this group covers
+
+    @property
+    def coalescing(self) -> float:
+        """Blocks per pre-send message (1.0 = no coalescing win)."""
+        return self.blocks_sent / self.messages if self.messages else 0.0
+
+    @property
+    def waste_ratio(self) -> float:
+        return self.useless / self.blocks_sent if self.blocks_sent else 0.0
+
+    @property
+    def accuracy(self) -> float:
+        """Fraction of pre-sent blocks that were used (1 - waste)."""
+        return self.consumed / self.blocks_sent if self.blocks_sent else 0.0
+
+    @property
+    def coverage(self) -> float:
+        """Fraction of remote needs satisfied by pre-send rather than a miss."""
+        need = self.consumed + self.misses
+        return self.consumed / need if need else 1.0
+
+
+@dataclass
+class ProfileReport:
+    """The profiler's output: phase timeline + schedule-quality history."""
+
+    phases: list[PhaseProfile] = field(default_factory=list)
+    schedule_quality: list[ScheduleQuality] = field(default_factory=list)
+    event_counts: dict[str, int] = field(default_factory=dict)
+    wall_time: float = 0.0
+
+    # -- tables ---------------------------------------------------------------
+
+    def phase_table(self) -> str:
+        rows = [
+            [p.phase, p.iteration, p.wall, float(p.misses), float(p.hits),
+             p.hit_rate, float(p.messages)]
+            for p in self.phases
+        ]
+        return format_table(
+            ["phase", "iter", "wall", "misses", "hits", "hit rate", "msgs"],
+            rows, title="Phase timeline",
+        )
+
+    def schedule_table(self) -> str:
+        rows = [
+            [q.directive, q.instance, float(q.blocks_sent), float(q.messages),
+             q.coalescing, float(q.consumed), float(q.useless),
+             q.waste_ratio, q.accuracy, q.coverage]
+            for q in self.schedule_quality
+        ]
+        return format_table(
+            ["directive", "inst", "sent", "msgs", "blk/msg", "used",
+             "useless", "waste", "accuracy", "coverage"],
+            rows, title="Schedule quality (pre-send, per directive instance)",
+        )
+
+    def render(self) -> str:
+        parts = [self.phase_table()]
+        if self.schedule_quality:
+            parts.append(self.schedule_table())
+        else:
+            parts.append("(no pre-send activity: schedule-quality table empty)")
+        return "\n\n".join(parts)
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "schema": "repro.profile/v1",
+            "wall_time": self.wall_time,
+            "phases": [
+                {
+                    "phase": p.phase, "iteration": p.iteration,
+                    "directive": p.directive, "wall": p.wall,
+                    "misses": p.misses, "hits": p.hits,
+                    "hit_rate": p.hit_rate, "messages": p.messages,
+                }
+                for p in self.phases
+            ],
+            "schedule_quality": [
+                {
+                    "directive": q.directive, "instance": q.instance,
+                    "blocks_sent": q.blocks_sent, "messages": q.messages,
+                    "coalescing": q.coalescing, "consumed": q.consumed,
+                    "useless": q.useless, "waste_ratio": q.waste_ratio,
+                    "accuracy": q.accuracy, "coverage": q.coverage,
+                }
+                for q in self.schedule_quality
+            ],
+            "event_counts": dict(sorted(self.event_counts.items())),
+        }
+
+
+def profile_run(stats, trace: EventTrace | Iterable[TraceEvent] | None = None
+                ) -> ProfileReport:
+    """Build a :class:`ProfileReport` from run stats plus an optional trace.
+
+    Without a trace the phase timeline is built from ``stats.phases`` alone
+    (iterations inferred per base name) and the schedule-quality table is
+    empty — pre-send attribution needs the trace's presend/outcome events.
+    """
+    report = ProfileReport(wall_time=stats.wall_time)
+
+    events = list(trace) if trace is not None else []
+    report.event_counts = _count(events)
+
+    # Phase timeline from RunStats (exists with or without tracing).
+    iterations: dict[str, int] = {}
+    for p in stats.phases:
+        base = EventTrace.base_name(p.phase_name)
+        iterations[base] = iterations.get(base, 0) + 1
+        report.phases.append(PhaseProfile(
+            phase=base, iteration=iterations[base],
+            directive=p.directive_id,
+            wall_start=p.wall_start, wall_end=p.wall_end,
+            misses=p.misses, hits=p.hits, messages=p.messages,
+        ))
+
+    if events:
+        report.schedule_quality = _schedule_quality(events, report.phases)
+    return report
+
+
+def _count(events: list[TraceEvent]) -> dict[str, int]:
+    out: dict[str, int] = {}
+    for ev in events:
+        out[ev.kind] = out.get(ev.kind, 0) + 1
+    return out
+
+
+def _schedule_quality(events: list[TraceEvent],
+                      phases: list[PhaseProfile]) -> list[ScheduleQuality]:
+    """Fold presend events into per-(directive, instance) quality rows.
+
+    Group structure comes from GROUP_BEGIN/GROUP_END pairs; PRESEND_MSG
+    events between them count sent blocks and messages, and the GROUP_END's
+    PRESEND_OUTCOME-style attrs settle consumed/useless.  Because outcomes
+    for a group are only known once the *next* execution of the same
+    directive rebuilds (deferred waste judgment), PRESEND_CONSUMED /
+    PRESEND_WASTE events are attributed to the group instance that sent the
+    block, carried in the event's ``attrs``.
+    """
+    instances: dict[int, int] = {}
+    rows: dict[tuple[int, int], ScheduleQuality] = {}
+    current: ScheduleQuality | None = None
+
+    for ev in events:
+        if ev.kind == EventKind.GROUP_BEGIN and ev.directive is not None:
+            inst = instances.get(ev.directive, 0) + 1
+            instances[ev.directive] = inst
+            current = rows.setdefault(
+                (ev.directive, inst),
+                ScheduleQuality(directive=ev.directive, instance=inst,
+                                ts=ev.ts),
+            )
+        elif ev.kind == EventKind.GROUP_END:
+            current = None
+        elif ev.kind == EventKind.PRESEND_MSG and current is not None:
+            current.messages += 1
+            current.blocks_sent += int(ev.attrs.get("blocks", 1))
+        elif ev.kind == EventKind.PRESEND_CONSUMED:
+            row = _sender_row(rows, ev, instances)
+            if row is not None:
+                row.consumed += 1
+        elif ev.kind == EventKind.PRESEND_WASTE:
+            row = _sender_row(rows, ev, instances)
+            if row is not None:
+                row.useless += int(ev.attrs.get("blocks", 1))
+        elif ev.kind == EventKind.MISS_BEGIN and ev.directive is not None:
+            inst = instances.get(ev.directive)
+            if inst is not None:
+                row = rows.get((ev.directive, inst))
+                if row is not None:
+                    row.misses += 1
+
+    return [rows[k] for k in sorted(rows)]
+
+
+def _sender_row(rows: dict[tuple[int, int], ScheduleQuality],
+                ev: TraceEvent,
+                instances: dict[int, int]) -> ScheduleQuality | None:
+    """The group row a consumed/waste event settles.
+
+    The sending instance is carried in ``attrs['instance']`` when the
+    emitter knows it; otherwise fall back to the latest instance of the
+    event's directive.
+    """
+    directive = ev.attrs.get("src_directive", ev.directive)
+    if directive is None:
+        return None
+    inst = ev.attrs.get("instance", instances.get(directive))
+    if inst is None:
+        return None
+    return rows.get((directive, inst))

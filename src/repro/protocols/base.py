@@ -17,6 +17,7 @@ from __future__ import annotations
 
 from typing import TYPE_CHECKING
 
+from repro.obs.events import EventKind
 from repro.protocols.directory import (
     DISCARDED,
     Directory,
@@ -156,6 +157,9 @@ class BaseProtocol(ProtocolStateMachine):
             self._defer(msg)
             return
         tags.invalidate(msg.block)
+        obs = self.machine.obs
+        if obs.enabled:
+            obs.emit(EventKind.INVALIDATE, t, node=msg.dst, block=msg.block)
         self.send(Message(MK.ACK, src=msg.dst, dst=msg.src, block=msg.block), t)
 
     def cache_recall(self, msg: Message, t: float) -> None:
@@ -169,6 +173,9 @@ class BaseProtocol(ProtocolStateMachine):
                 node=msg.dst, block=msg.block, time=t, message_repr=repr(msg),
             )
         tags.invalidate(msg.block)
+        obs = self.machine.obs
+        if obs.enabled:
+            obs.emit(EventKind.RECALL, t, node=msg.dst, block=msg.block)
         self.send(
             Message(
                 MK.WB_DATA,
@@ -460,6 +467,10 @@ class BaseProtocol(ProtocolStateMachine):
             self.send(Message(req, src=requester, dst=node, block=block), t)
             self.machine.node(requester).stats.reissued_requests += 1
             reissued += 1
+            obs = self.machine.obs
+            if obs.enabled:
+                obs.emit(EventKind.REISSUE, t, node=requester, block=block,
+                         home=node)
         return reissued
 
     # -- phase-group hooks (overridden by the predictive protocol) ------------------------------

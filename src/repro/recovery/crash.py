@@ -29,6 +29,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import TYPE_CHECKING
 
+from repro.obs.events import EventKind
 from repro.sim.stats import TimeCategory
 from repro.util.errors import ConfigError, ProtocolError
 
@@ -129,6 +130,10 @@ class CrashController:
         self.log.append(CrashRecord(node=node, time=t, phase=self._phase,
                                     op_index=op_index, detect_at=detect_at,
                                     restart_at=restart_at))
+        obs = self.machine.obs
+        if obs.enabled:
+            obs.emit(EventKind.CRASH, t, node=node, op_index=op_index,
+                     detect_at=detect_at, restart_at=restart_at)
         self.machine.engine.schedule(
             restart_at, lambda: self.restart(proc, node, restart_at)
         )
@@ -140,6 +145,9 @@ class CrashController:
         if node not in self.down:  # pragma: no cover - defensive
             return
         self.detected.add(node)
+        obs = self.machine.obs
+        if obs.enabled:
+            obs.emit(EventKind.DETECT, t, node=node)
         transport = self.machine._transport
         if transport is not None:
             transport.forget_node(node)
@@ -165,6 +173,11 @@ class CrashController:
         self.down.discard(node)
         self.detected.discard(node)
         self.machine.node(node).reset_for_restart()
+        obs = self.machine.obs
+        if obs.enabled:
+            obs.emit(EventKind.RESTART, t, node=node,
+                     incarnation=self.incarnations[node],
+                     downtime=t - record.time)
         self.machine.protocol.rebuild_home_state(node, t)
         self.machine.protocol.reissue_faults_for_home(node, t)
         # The outage is its own accounting category so per-node cycles still

@@ -49,6 +49,9 @@ class Engine:
         self._seq: int = 0
         self._dispatched: int = 0
         self._running = False
+        #: optional observability sink (repro.obs tracer); None keeps the
+        #: drain loop's epilogue to a single identity check
+        self.obs = None
 
     # -- scheduling ----------------------------------------------------------
 
@@ -117,6 +120,8 @@ class Engine:
                 self.now = until
         finally:
             self._running = False
+        if self.obs is not None and self.obs.enabled and dispatched:
+            self.obs.emit("engine.run", self.now, dispatched=dispatched)
         return dispatched
 
     @property

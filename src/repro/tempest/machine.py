@@ -25,6 +25,7 @@ import math
 from dataclasses import dataclass, field
 from typing import Protocol as TypingProtocol, Sequence
 
+from repro.obs.events import EventKind, NULL_TRACER, Tracer
 from repro.sim.engine import Engine
 from repro.sim.stats import PhaseBreakdown, RunStats, TimeCategory
 from repro.tempest.addrspace import AddressSpace
@@ -181,6 +182,10 @@ class ReplayProcessor:
                         stats.read_misses += 1
                     else:
                         stats.write_misses += 1
+                    obs = self.machine.obs
+                    if obs.enabled:
+                        obs.emit(EventKind.MISS_BEGIN, self.t,
+                                 node=self.node.id, block=block, access=kind)
                     self.machine.protocol.fault(self, block, kind, self.t)
                     return
             else:
@@ -206,6 +211,10 @@ class ReplayProcessor:
                 f"{op[0]!r} on block {op[1]}"
             )
         self.node.stats.add(TimeCategory.REMOTE_WAIT, t - self.miss_start)
+        obs = self.machine.obs
+        if obs.enabled:
+            obs.emit(EventKind.MISS_END, t, node=self.node.id, block=op[1],
+                     access=op[0], wait=t - self.miss_start)
         self.machine.note_access(self.node.id, op[1], op[0])
         self.waiting = False
         self.pending_op = None
@@ -260,6 +269,9 @@ class Machine:
         self.watchdog = None
         #: phases run so far; keys the per-(node, phase) crash decisions
         self.phase_index = 0
+        #: observability sink (repro.obs); the default null tracer makes
+        #: every instrumented site a single ``if obs.enabled`` check
+        self.obs: Tracer = NULL_TRACER
         self.protocol: CoherenceProtocolAPI = protocol_factory(self)
         self.network.attach(self._deliver)
 
@@ -351,6 +363,13 @@ class Machine:
             self.watchdog = Watchdog(self, plan.detect_cycles)
             self.network.incarnation_of = self.crash_controller.incarnation
 
+    def attach_tracer(self, tracer: Tracer) -> None:
+        """Route this machine's (and its network's and engine's) events to
+        ``tracer``; pass :data:`NULL_TRACER` to detach."""
+        self.obs = tracer
+        self.network.obs = tracer
+        self.engine.obs = tracer if tracer.enabled else None
+
     def note_access(self, node: int, block: int, kind: str) -> None:
         """Record that ``node`` touched ``block`` (pre-send usefulness and
         write-update bookkeeping)."""
@@ -379,6 +398,10 @@ class Machine:
         self.current_directive = directive_id
         self.group_accessed.clear()
         start = self.clock
+        obs = self.obs
+        if obs.enabled:
+            obs.set_directive(directive_id)
+            obs.emit(EventKind.GROUP_BEGIN, start)
         send_done = self.protocol.begin_group(directive_id, start)
         self.engine.run()
         if send_done is not None:
@@ -395,12 +418,19 @@ class Machine:
                 # start until the closing barrier releases.
                 node.stats.add(TimeCategory.PREDICTIVE, release - start)
             self.clock = release
+            if obs.enabled:
+                obs.emit(EventKind.PRESEND_PHASE, start,
+                         cycles=release - start)
 
     def end_group(self) -> None:
         if self.recorder is not None and self.current_directive is not None:
             self.recorder.append(("end_group",))
         if self.current_directive is not None:
             self.protocol.end_group(self.current_directive, self.clock)
+            obs = self.obs
+            if obs.enabled:
+                obs.emit(EventKind.GROUP_END, self.clock)
+                obs.set_directive(None)
         self.current_directive = None
 
     # -- phase execution -----------------------------------------------------------
@@ -425,6 +455,9 @@ class Machine:
         msgs_before = self.stats.messages
         phase_index = self.phase_index
         self.phase_index += 1
+        obs = self.obs
+        if obs.enabled:
+            obs.begin_phase(trace.name, self.current_directive, start)
         procs = [
             ReplayProcessor(self, self.nodes[i], trace.ops[i], start)
             for i in range(self.config.n_nodes)
@@ -455,6 +488,14 @@ class Machine:
             self.nodes[node_id].stats.add(TimeCategory.SYNCH, release - arrived)
         self.clock = release
         self._phase_running = False
+        if obs.enabled:
+            obs.emit(EventKind.BARRIER_RELEASE, release)
+            obs.end_phase(
+                release,
+                misses=self.stats.misses - misses_before,
+                hits=self.stats.local_hits - hits_before,
+                messages=self.stats.messages - msgs_before,
+            )
         breakdown = PhaseBreakdown(
             trace.name,
             self.current_directive,
@@ -473,6 +514,9 @@ class Machine:
         if proc.node.id in self._barrier_arrivals:
             raise SimulationError(f"node {proc.node.id} arrived at barrier twice")
         self._barrier_arrivals[proc.node.id] = t
+        obs = self.obs
+        if obs.enabled:
+            obs.emit(EventKind.BARRIER_ARRIVE, t, node=proc.node.id)
 
     # -- finishing --------------------------------------------------------------------
 

@@ -19,6 +19,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Any, Callable
 
+from repro.obs.events import EventKind, NULL_TRACER
 from repro.sim.engine import Engine
 from repro.util.config import MachineConfig
 from repro.util.errors import SimulationError
@@ -79,6 +80,8 @@ class Network:
         self.messages_dropped = 0
         self.messages_duplicated = 0
         self.messages_fenced = 0
+        #: observability sink; Machine.attach_tracer points this at its tracer
+        self.obs = NULL_TRACER
 
     def attach(self, deliver: Callable[[Message, float], None]) -> None:
         """Set the machine-level dispatcher invoked on each delivery."""
@@ -118,14 +121,26 @@ class Network:
             msg.src_inc = self.incarnation_of(msg.src)
             msg.dst_inc = self.incarnation_of(msg.dst)
         nominal = at + self.flight_time(msg)
+        obs = self.obs
+        if obs.enabled:
+            obs.emit(EventKind.MSG_SEND, at, node=msg.src, msg_id=msg.msg_id,
+                     msg_kind=msg.kind, dst=msg.dst, block=msg.block,
+                     bytes=msg.payload_bytes)
 
         if self.injector is not None:
             deliveries = self.injector.message_deliveries(msg)
             if not deliveries:
                 self.messages_dropped += 1
+                if obs.enabled:
+                    obs.emit(EventKind.MSG_DROP, at, node=msg.src,
+                             msg_id=msg.msg_id, msg_kind=msg.kind, dst=msg.dst)
                 return nominal
             if len(deliveries) > 1:
                 self.messages_duplicated += len(deliveries) - 1
+                if obs.enabled:
+                    obs.emit(EventKind.MSG_DUP, at, node=msg.src,
+                             msg_id=msg.msg_id, msg_kind=msg.kind,
+                             copies=len(deliveries))
             for extra in deliveries:
                 self._schedule_delivery(msg, nominal + extra)
             return nominal
@@ -138,6 +153,10 @@ class Network:
         self.bytes_delivered += msg.payload_bytes
 
         def _arrive() -> None:
+            obs = self.obs
+            if obs.enabled:
+                obs.emit(EventKind.MSG_RECV, arrival, node=msg.dst,
+                         msg_id=msg.msg_id, msg_kind=msg.kind, src=msg.src)
             self._deliver(msg, arrival)
 
         self.engine.schedule(arrival, _arrive)

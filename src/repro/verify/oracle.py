@@ -56,20 +56,26 @@ def run_workload(
     policy: TieBreakPolicy | None = None,
     max_events: int | None = 2_000_000,
     fault_plan=None,
+    tracer=None,
 ) -> Observables:
     """Replay ``workload`` under ``protocol`` with policy-driven tie-breaks.
 
     ``fault_plan`` optionally arms a :class:`repro.faults.plan.FaultPlan` on
     the machine (see :meth:`Machine.install_fault_plan`); an inactive plan
-    changes nothing.  Raises :class:`CoherenceViolation` on any invariant
-    failure, protocol error, transport timeout, or deadlock, with the seed,
-    schedule, and injected fault events attached for replay.
+    changes nothing.  ``tracer`` optionally attaches a
+    :class:`repro.obs.events.Tracer` (``machine.attach_tracer``) so fault
+    campaigns can export event timelines.  Raises
+    :class:`CoherenceViolation` on any invariant failure, protocol error,
+    transport timeout, or deadlock, with the seed, schedule, and injected
+    fault events attached for replay.
     """
     policy = policy if policy is not None else FifoPolicy()
     engine = ExplorerEngine(policy, default_max_events=max_events)
     machine = make_machine(workload.config, protocol, engine=engine)
     if fault_plan is not None:
         machine.install_fault_plan(fault_plan)
+    if tracer is not None:
+        machine.attach_tracer(tracer)
     monitor = InvariantMonitor(seed=workload.seed, policy=policy)
     monitor.attach(machine)
     obs = Observables(protocol=protocol)

@@ -88,3 +88,42 @@ class TestScaleStability:
                 "o", water, "predictive", True, CFG,
                 dict(n=n, iterations=3, work_scale=4.0)))
             assert opt.wall < unopt.wall, f"ordering flipped at n={n}"
+
+
+class TestHarnessMetrics:
+    """Benchmark results speak the repro.obs metrics schema (one home for
+    figure, ablation, and sweep numbers)."""
+
+    def test_version_metrics_labelled(self):
+        result = run_version(tiny_spec("a", "predictive", True))
+        reg = result.metrics()
+        labels = dict(version="a", protocol="predictive", optimized=True,
+                      block_size=CFG.block_size)
+        assert reg.value("run.wall_cycles", **labels) == result.wall
+        assert reg.value("run.phases", **labels) == len(result.stats.phases)
+
+    def test_figure_metrics_merge_all_versions(self):
+        fig = FigureResult(
+            "Figure X", "test",
+            [run_version(tiny_spec("a")),
+             run_version(tiny_spec("b", "predictive", True))],
+        )
+        reg = fig.metrics()
+        walls = reg.series("run.wall_cycles")
+        assert len(walls) == 2
+        assert all(lab["figure"] == "Figure X" for lab, _ in walls)
+        assert {lab["version"] for lab, _ in walls} == {"a", "b"}
+        # registries stay mergeable across figures and serialize cleanly
+        from repro.obs import MetricsRegistry
+
+        roundtrip = MetricsRegistry.from_dict(reg.to_dict())
+        assert roundtrip.to_dict() == reg.to_dict()
+
+    def test_traced_benchmark_run(self):
+        from repro.obs import EventTrace
+
+        tracer = EventTrace()
+        result = run_version(tiny_spec("a", "predictive", True), tracer=tracer)
+        assert len(tracer) > 0
+        untraced = run_version(tiny_spec("a", "predictive", True))
+        assert result.wall == untraced.wall  # tracing never perturbs the run

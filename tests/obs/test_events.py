@@ -1,0 +1,156 @@
+"""Event bus: tracer contract, phase context, and non-interference."""
+
+import pathlib
+
+import pytest
+
+from repro.core import make_machine
+from repro.cstar import compile_source
+from repro.obs import EventKind, EventTrace, NULL_TRACER, TraceEvent, Tracer
+from repro.obs.events import CountingTracer
+from repro.util.config import MachineConfig
+
+JACOBI = (pathlib.Path(__file__).parent.parent.parent
+          / "examples/programs/jacobi.cstar")
+
+
+def traced_run(protocol="predictive", tracer=None):
+    program = compile_source(JACOBI.read_text())
+    machine = make_machine(
+        MachineConfig(n_nodes=4, block_size=32, page_size=512), protocol
+    )
+    if tracer is not None:
+        machine.attach_tracer(tracer)
+    env = program.run(machine, optimized=True)
+    return env.finish()
+
+
+class TestTracerContract:
+    def test_null_tracer_is_disabled(self):
+        assert not NULL_TRACER.enabled
+        # the whole point: emitting through it is a no-op, not an error
+        NULL_TRACER.emit(EventKind.MISS_BEGIN, 0.0, node=1, block=2)
+        NULL_TRACER.begin_phase("sweep#1", None, 0.0)
+        NULL_TRACER.end_phase(1.0)
+        NULL_TRACER.set_directive(3)
+
+    def test_machine_defaults_to_null_tracer(self):
+        machine = make_machine(MachineConfig(n_nodes=2), "stache")
+        assert machine.obs is NULL_TRACER
+        assert machine.network.obs is NULL_TRACER
+        assert machine.engine.obs is None
+
+    def test_attach_tracer_wires_all_layers(self):
+        machine = make_machine(MachineConfig(n_nodes=2), "stache")
+        tracer = EventTrace()
+        machine.attach_tracer(tracer)
+        assert machine.obs is tracer
+        assert machine.network.obs is tracer
+        assert machine.engine.obs is tracer
+
+    def test_all_kinds_are_unique_strings(self):
+        kinds = EventKind.all_kinds()
+        assert len(kinds) > 25
+        assert all(isinstance(k, str) and "." in k for k in kinds)
+
+    def test_base_name(self):
+        assert EventTrace.base_name("sweep#12") == "sweep"
+        assert EventTrace.base_name("sweep") == "sweep"
+        assert EventTrace.base_name("a#b") == "a#b"
+        assert EventTrace.base_name("#3") == "#3"
+
+
+class TestEventTrace:
+    def test_records_phase_context(self):
+        tracer = EventTrace()
+        traced_run(tracer=tracer)
+        begins = tracer.of_kind(EventKind.PHASE_BEGIN)
+        sweeps = [ev for ev in begins if ev.phase == "sweep"]
+        assert len(sweeps) == 12  # 6 loop iterations x 2 sweep calls
+        assert [ev.iteration for ev in sweeps] == list(range(1, 13))
+        assert {ev.phase for ev in begins} == {"init", "sweep"}
+        # events inside a phase inherit its context
+        miss = tracer.of_kind(EventKind.MISS_BEGIN)
+        assert miss, "a 4-node jacobi must take remote misses"
+        assert all(ev.phase == "sweep" and ev.iteration >= 1 for ev in miss)
+
+    def test_every_event_kind_is_known(self):
+        tracer = EventTrace()
+        traced_run(tracer=tracer)
+        known = EventKind.all_kinds()
+        assert set(tracer.counts()) <= known
+
+    def test_timestamps_monotone_per_phase_boundaries(self):
+        tracer = EventTrace()
+        stats = traced_run(tracer=tracer)
+        ends = tracer.of_kind(EventKind.PHASE_END)
+        assert ends[-1].ts == pytest.approx(stats.wall_time)
+        begins = tracer.of_kind(EventKind.PHASE_BEGIN)
+        for b, e in zip(begins, ends):
+            assert b.ts <= e.ts
+
+    def test_presend_events_carry_directive(self):
+        tracer = EventTrace()
+        traced_run(tracer=tracer)
+        presends = tracer.of_kind(EventKind.PRESEND_MSG)
+        assert presends, "optimized predictive jacobi must pre-send"
+        assert all(ev.directive is not None for ev in presends)
+
+    def test_counts_match_len(self):
+        tracer = EventTrace()
+        traced_run(tracer=tracer)
+        assert sum(tracer.counts().values()) == len(tracer)
+        assert len(list(iter(tracer))) == len(tracer)
+
+
+class TestTraceEventRoundtrip:
+    def test_to_from_dict(self):
+        ev = TraceEvent(ts=4.5, kind=EventKind.MISS_BEGIN, node=2,
+                        phase="sweep", iteration=3, directive=1,
+                        attrs={"block": 7})
+        assert TraceEvent.from_dict(ev.to_dict()) == ev
+
+    def test_to_dict_omits_nones(self):
+        ev = TraceEvent(ts=0.0, kind=EventKind.BARRIER_RELEASE)
+        assert ev.to_dict() == {"ts": 0.0, "kind": EventKind.BARRIER_RELEASE}
+
+
+class TestNonInterference:
+    """Tracing must observe the run, never change it."""
+
+    @pytest.mark.parametrize("protocol", ["stache", "predictive",
+                                          "write-update"])
+    def test_stats_identical_with_and_without_tracing(self, protocol):
+        untraced = traced_run(protocol=protocol)
+        traced = traced_run(protocol=protocol, tracer=EventTrace())
+        assert traced.wall_time == untraced.wall_time
+        assert traced.misses == untraced.misses
+        assert traced.local_hits == untraced.local_hits
+        assert traced.messages == untraced.messages
+        assert ([ (p.phase_name, p.wall_start, p.wall_end, p.misses)
+                  for p in traced.phases ]
+                == [ (p.phase_name, p.wall_start, p.wall_end, p.misses)
+                     for p in untraced.phases ])
+
+    def test_counting_tracer_counts_all_sites(self):
+        counting = CountingTracer()
+        traced_run(tracer=counting)
+        recording = EventTrace()
+        traced_run(tracer=recording)
+        # begin_phase/end_phase each emit one event in EventTrace, so the
+        # two enabled sinks must agree on total guard executions
+        assert counting.emitted == len(recording)
+
+
+class TestCustomSink:
+    def test_subclass_receives_emissions(self):
+        seen = []
+
+        class Sink(Tracer):
+            enabled = True
+
+            def emit(self, kind, ts, node=None, **attrs):
+                seen.append(kind)
+
+        traced_run(tracer=Sink())
+        assert EventKind.MSG_SEND in seen

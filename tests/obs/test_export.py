@@ -1,0 +1,146 @@
+"""Chrome-trace exporter, validator, and the JSONL event log."""
+
+import json
+
+import pytest
+
+from repro.obs import (
+    EventKind,
+    EventTrace,
+    TraceEvent,
+    chrome_trace_document,
+    load_jsonl,
+    validate_chrome_trace,
+    write_chrome_trace,
+    write_jsonl,
+)
+from tests.obs.test_events import traced_run
+
+
+@pytest.fixture(scope="module")
+def trace():
+    tracer = EventTrace()
+    traced_run(tracer=tracer)
+    return tracer
+
+
+@pytest.fixture(scope="module")
+def doc(trace):
+    return chrome_trace_document(trace.events, n_nodes=4)
+
+
+class TestChromeDocument:
+    def test_real_run_validates(self, doc):
+        assert validate_chrome_trace(doc) == []
+
+    def test_has_named_tracks_per_node(self, doc):
+        names = {
+            ev["args"]["name"]
+            for ev in doc["traceEvents"]
+            if ev["ph"] == "M" and ev["name"] == "thread_name"
+        }
+        assert names == {"machine", "node 0", "node 1", "node 2", "node 3"}
+
+    def test_phase_spans_on_machine_track(self, doc):
+        spans = [ev for ev in doc["traceEvents"]
+                 if ev["ph"] == "X" and ev.get("cat") == "phase"]
+        assert len(spans) == 14  # 2 init + 12 sweep
+        assert all(ev["tid"] == 0 and ev["dur"] > 0 for ev in spans)
+        assert any(ev["name"] == "sweep#12" for ev in spans)
+
+    def test_miss_slices_on_node_tracks(self, doc):
+        misses = [ev for ev in doc["traceEvents"]
+                  if ev["ph"] == "X" and ev.get("cat") == "miss"]
+        assert misses
+        assert all(ev["tid"] >= 1 for ev in misses)
+        assert all(ev["dur"] >= 0 for ev in misses)
+
+    def test_message_flow_arrows_pair_up(self, doc):
+        starts = [ev for ev in doc["traceEvents"] if ev["ph"] == "s"]
+        ends = [ev for ev in doc["traceEvents"] if ev["ph"] == "f"]
+        assert starts, "a remote-miss run must produce message flows"
+        assert {ev["id"] for ev in starts} == {ev["id"] for ev in ends}
+
+    def test_presend_messages_categorized(self, doc):
+        cats = {ev.get("cat") for ev in doc["traceEvents"] if ev["ph"] == "X"}
+        assert "presend-msg" in cats
+        assert "presend" in cats  # the machine-track pre-send span
+
+    def test_cycles_map_to_microseconds(self, doc, trace):
+        last_end = max(ev.ts for ev in trace.of_kind(EventKind.PHASE_END))
+        spans = [ev for ev in doc["traceEvents"]
+                 if ev["ph"] == "X" and ev.get("cat") == "phase"]
+        assert max(ev["ts"] + ev["dur"] for ev in spans) == last_end
+
+
+class TestValidator:
+    """The validator must actually catch malformed documents."""
+
+    def test_missing_trace_events(self):
+        assert validate_chrome_trace({}) == ["traceEvents missing or not a list"]
+
+    def test_unknown_phase_letter(self):
+        doc = {"traceEvents": [{"ph": "Z", "pid": 0, "ts": 0, "name": "x"}]}
+        assert any("unknown ph" in p for p in validate_chrome_trace(doc))
+
+    def test_negative_duration(self):
+        doc = {"traceEvents": [
+            {"ph": "X", "pid": 0, "ts": 0, "dur": -1, "name": "x"}]}
+        assert any("dur" in p for p in validate_chrome_trace(doc))
+
+    def test_missing_ts(self):
+        doc = {"traceEvents": [{"ph": "i", "pid": 0, "name": "x", "s": "t"}]}
+        assert any("numeric ts" in p for p in validate_chrome_trace(doc))
+
+    def test_unmatched_flow(self):
+        doc = {"traceEvents": [
+            {"ph": "s", "pid": 0, "ts": 0, "name": "m", "id": 7}]}
+        assert any("no finish" in p for p in validate_chrome_trace(doc))
+
+    def test_unnamed_tid(self):
+        doc = {"traceEvents": [
+            {"ph": "X", "pid": 0, "tid": 3, "ts": 0, "dur": 1, "name": "x"}]}
+        assert any("never named" in p for p in validate_chrome_trace(doc))
+
+    def test_bad_metadata_name(self):
+        doc = {"traceEvents": [{"ph": "M", "pid": 0, "name": "bogus_meta"}]}
+        assert any("unknown metadata" in p for p in validate_chrome_trace(doc))
+
+
+class TestFaultInstants:
+    def test_drop_and_crash_render_as_instants(self):
+        events = [
+            TraceEvent(ts=1.0, kind=EventKind.MSG_DROP, node=0,
+                       attrs={"msg_id": 5}),
+            TraceEvent(ts=2.0, kind=EventKind.CRASH, node=1,
+                       attrs={"op_index": 3}),
+            TraceEvent(ts=3.0, kind=EventKind.RESTART, node=1,
+                       attrs={"incarnation": 1}),
+        ]
+        doc = chrome_trace_document(events, n_nodes=2)
+        assert validate_chrome_trace(doc) == []
+        instants = [ev for ev in doc["traceEvents"] if ev["ph"] == "i"]
+        assert [ev["name"] for ev in instants] == ["drop", "CRASH", "RESTART"]
+
+    def test_dropped_message_makes_no_flow(self):
+        # a send whose receive never happens must not leave a dangling flow
+        events = [
+            TraceEvent(ts=1.0, kind=EventKind.MSG_SEND, node=0,
+                       attrs={"msg_id": 5, "msg_kind": "GET_RO", "dst": 1}),
+        ]
+        doc = chrome_trace_document(events, n_nodes=2)
+        assert validate_chrome_trace(doc) == []
+        assert not [ev for ev in doc["traceEvents"] if ev["ph"] in ("s", "f")]
+
+
+class TestFiles:
+    def test_write_chrome_trace_is_loadable_json(self, tmp_path, trace):
+        out = tmp_path / "trace.json"
+        doc = write_chrome_trace(out, trace.events, n_nodes=4)
+        assert json.loads(out.read_text()) == doc
+
+    def test_jsonl_roundtrip(self, tmp_path, trace):
+        out = tmp_path / "events.jsonl"
+        n = write_jsonl(out, trace.events)
+        assert n == len(trace)
+        assert load_jsonl(out) == trace.events

@@ -1,0 +1,68 @@
+"""Machine-readable run stats (the --json schema)."""
+
+import json
+
+import pytest
+
+from repro.faults import BUNDLED_PLANS
+from repro.obs import STATS_SCHEMA, run_stats_json
+from repro.sim.stats import TimeCategory
+from repro.verify.oracle import run_workload
+from repro.verify.workload import generate_workload
+from tests.obs.test_events import traced_run
+
+
+@pytest.fixture(scope="module")
+def stats():
+    return traced_run()
+
+
+class TestSchema:
+    def test_versioned_and_json_safe(self, stats):
+        doc = run_stats_json(stats, app="jacobi", protocol="predictive")
+        assert doc["schema"] == STATS_SCHEMA == "repro.run-stats/v1"
+        json.dumps(doc)  # must be serializable as-is
+
+    def test_meta_lands_under_run(self, stats):
+        doc = run_stats_json(stats, app="jacobi", nodes=4, skipped=None)
+        assert doc["run"] == {"app": "jacobi", "nodes": 4}
+
+    def test_totals_match_stats(self, stats):
+        doc = run_stats_json(stats)
+        assert doc["wall_time"] == stats.wall_time
+        assert doc["totals"]["remote_misses"] == stats.misses
+        assert doc["totals"]["local_hits"] == stats.local_hits
+        assert doc["totals"]["messages"] == stats.messages
+        assert doc["figure_breakdown"] == stats.figure_breakdown()
+
+    def test_per_node_cycles_conserve(self, stats):
+        doc = run_stats_json(stats)
+        assert len(doc["nodes"]) == 4
+        for node in doc["nodes"]:
+            assert set(node["cycles"]) == {c.value for c in TimeCategory}
+            assert sum(node["cycles"].values()) == pytest.approx(
+                doc["wall_time"])
+
+    def test_phase_rows(self, stats):
+        doc = run_stats_json(stats)
+        assert len(doc["phases"]) == len(stats.phases)
+        assert doc["phases"][0]["name"].startswith("init")
+
+    def test_fault_free_run_has_no_resilience_key(self, stats):
+        assert "resilience" not in run_stats_json(stats)
+
+
+class TestResilienceSection:
+    def test_faulted_run_reports_nonzero_counters(self):
+        w = generate_workload(0)
+        obs = run_workload(w, "stache",
+                           fault_plan=BUNDLED_PLANS["drop"].with_(seed=1))
+        doc = run_stats_json(obs.stats)
+        res = doc.get("resilience")
+        assert res, "a drop plan must surface retries or dups"
+        assert all(v for v in res.values())
+        assert set(res) <= {
+            "transport_retries", "transport_timeouts",
+            "duplicates_suppressed", "schedules_degraded", "crashes",
+            "reissued_requests", "downtime_cycles",
+        }

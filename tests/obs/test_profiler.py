@@ -1,0 +1,103 @@
+"""Phase profiler and schedule-quality analytics."""
+
+import pytest
+
+from repro.obs import EventKind, EventTrace, profile_run
+from tests.obs.test_events import traced_run
+
+
+@pytest.fixture(scope="module")
+def run():
+    tracer = EventTrace()
+    stats = traced_run(tracer=tracer)
+    return stats, tracer
+
+
+class TestPhaseTimeline:
+    def test_one_row_per_phase_execution(self, run):
+        stats, tracer = run
+        report = profile_run(stats, tracer)
+        assert len(report.phases) == len(stats.phases) == 14
+        sweeps = [p for p in report.phases if p.phase == "sweep"]
+        assert [p.iteration for p in sweeps] == list(range(1, 13))
+
+    def test_rows_match_stats_deltas(self, run):
+        stats, tracer = run
+        report = profile_run(stats, tracer)
+        assert sum(p.misses for p in report.phases) == stats.misses
+        assert sum(p.hits for p in report.phases) == stats.local_hits
+        assert report.wall_time == stats.wall_time
+        for p in report.phases:
+            assert 0.0 <= p.hit_rate <= 1.0
+            assert p.wall >= 0
+
+    def test_works_without_a_trace(self, run):
+        stats, _ = run
+        report = profile_run(stats)
+        assert len(report.phases) == 14
+        assert report.schedule_quality == []
+        assert report.event_counts == {}
+        assert "(no pre-send activity" in report.render()
+
+
+class TestScheduleQuality:
+    def test_rows_per_directive_instance(self, run):
+        stats, tracer = run
+        report = profile_run(stats, tracer)
+        rows = report.schedule_quality
+        assert rows, "optimized predictive jacobi must pre-send"
+        begins = tracer.of_kind(EventKind.GROUP_BEGIN)
+        assert len(rows) == len(begins)
+        assert [(q.directive, q.instance) for q in rows] == sorted(
+            (q.directive, q.instance) for q in rows)
+
+    def test_quality_bounds(self, run):
+        stats, tracer = run
+        for q in profile_run(stats, tracer).schedule_quality:
+            assert 0.0 <= q.waste_ratio <= 1.0
+            assert 0.0 <= q.accuracy <= 1.0
+            assert 0.0 <= q.coverage <= 1.0
+            assert q.consumed + q.useless <= q.blocks_sent
+            if q.messages:
+                assert q.coalescing >= 1.0
+
+    def test_consumed_totals_match_trace(self, run):
+        stats, tracer = run
+        rows = profile_run(stats, tracer).schedule_quality
+        consumed = len(tracer.of_kind(EventKind.PRESEND_CONSUMED))
+        assert sum(q.consumed for q in rows) == consumed
+        sent = sum(int(ev.attrs.get("blocks", 1))
+                   for ev in tracer.of_kind(EventKind.PRESEND_MSG))
+        assert sum(q.blocks_sent for q in rows) == sent
+
+    def test_learning_improves_coverage(self, run):
+        """The paper's core claim, per-instance: later instances of a
+        directive pre-send what the first instance missed."""
+        stats, tracer = run
+        rows = profile_run(stats, tracer).schedule_quality
+        by_directive = {}
+        for q in rows:
+            by_directive.setdefault(q.directive, []).append(q)
+        improved = [
+            qs[-1].coverage > qs[0].coverage
+            for qs in by_directive.values() if len(qs) >= 3
+        ]
+        assert improved and all(improved)
+
+
+class TestReportOutput:
+    def test_render_contains_both_tables(self, run):
+        stats, tracer = run
+        text = profile_run(stats, tracer).render()
+        assert "Phase timeline" in text
+        assert "Schedule quality" in text
+        assert "coverage" in text
+
+    def test_to_dict_schema(self, run):
+        stats, tracer = run
+        doc = profile_run(stats, tracer).to_dict()
+        assert doc["schema"] == "repro.profile/v1"
+        assert doc["wall_time"] == stats.wall_time
+        assert len(doc["phases"]) == 14
+        assert doc["schedule_quality"]
+        assert doc["event_counts"] == tracer.counts()

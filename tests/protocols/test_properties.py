@@ -142,9 +142,17 @@ class TestPredictiveProperties:
         from faults (test_hits_not_recorded), so nothing can anticipate an
         access that has never faulted.  One warm-up replay surfaces every
         such access; from there on, convergence must be monotone.
+
+        Waste-driven degradation is pinned off for this property: on
+        workloads where aliased directives legitimately pre-send blocks the
+        next instance invalidates, a degrade/re-learn cycle makes the miss
+        series oscillate by design (covered by tests/faults/
+        test_degradation.py), which is not the monotone-learning property
+        under test here.
         """
         workload = self._drop_conflicts(workload)
         m, first = build_machine("predictive")
+        m.protocol.degrade_patience = 10 ** 9
         run_workload(m, first, workload, directives=True)  # cold start
         warmup = m.stats.misses
         run_workload(m, first, workload, directives=True)

@@ -1,5 +1,6 @@
 """Tests for the command-line interface."""
 
+import json
 import pathlib
 
 import pytest
@@ -115,3 +116,100 @@ class TestFaultsCommand:
         assert rc == 0
         assert "no coherence violations" in out
         assert "fault campaign: 3 plan(s)" in out
+
+
+class TestRunJson:
+    def test_json_to_stdout_suppresses_table(self, capsys):
+        assert main(["run", str(JACOBI), "--nodes", "4", "--json"]) == 0
+        out = capsys.readouterr().out
+        doc = json.loads(out)
+        assert doc["schema"] == "repro.run-stats/v1"
+        assert doc["run"]["protocol"] == "predictive"
+        assert len(doc["nodes"]) == 4
+        assert "wall time" not in out  # the table is replaced, not mixed in
+
+    def test_json_to_file_keeps_table(self, tmp_path, capsys):
+        out_path = tmp_path / "stats.json"
+        assert main(["run", str(JACOBI), "--nodes", "4",
+                     "--json", str(out_path)]) == 0
+        assert "wall time" in capsys.readouterr().out
+        doc = json.loads(out_path.read_text())
+        assert doc["schema"] == "repro.run-stats/v1"
+
+    def test_metrics_out(self, tmp_path):
+        out_path = tmp_path / "metrics.json"
+        assert main(["run", str(JACOBI), "--nodes", "4",
+                     "--metrics-out", str(out_path)]) == 0
+        from repro.obs import MetricsRegistry
+
+        reg = MetricsRegistry.from_dict(json.loads(out_path.read_text()))
+        assert reg.value("run.wall_cycles", app=str(JACOBI),
+                         protocol="predictive", nodes=4, block_size=32,
+                         optimized=True) > 0
+
+    def test_run_trace_flag(self, tmp_path, capsys):
+        out_path = tmp_path / "trace.json"
+        assert main(["run", str(JACOBI), "--nodes", "4",
+                     "--trace", str(out_path)]) == 0
+        assert "VALID Chrome trace" in capsys.readouterr().out
+        doc = json.loads(out_path.read_text())
+        from repro.obs import validate_chrome_trace
+
+        assert validate_chrome_trace(doc) == []
+
+
+class TestTraceCommand:
+    def test_trace_writes_valid_timeline(self, tmp_path, capsys):
+        out_path = tmp_path / "trace.json"
+        jsonl_path = tmp_path / "events.jsonl"
+        assert main(["trace", str(JACOBI), "--nodes", "4",
+                     "-o", str(out_path), "--jsonl", str(jsonl_path)]) == 0
+        out = capsys.readouterr().out
+        assert "event kind" in out  # the per-kind count table
+        assert "VALID Chrome trace" in out
+        doc = json.loads(out_path.read_text())
+        names = {ev["args"]["name"] for ev in doc["traceEvents"]
+                 if ev["ph"] == "M" and ev["name"] == "thread_name"}
+        assert names == {"machine", "node 0", "node 1", "node 2", "node 3"}
+        from repro.obs import load_jsonl
+
+        events = load_jsonl(jsonl_path)
+        assert events and events[0].kind == "phase.begin"
+
+
+class TestProfileCommand:
+    def test_profile_prints_tables(self, capsys, tmp_path):
+        json_path = tmp_path / "profile.json"
+        assert main(["profile", str(JACOBI), "--nodes", "4",
+                     "--json", str(json_path)]) == 0
+        out = capsys.readouterr().out
+        assert "Phase timeline" in out
+        assert "Schedule quality" in out
+        assert "coverage" in out
+        doc = json.loads(json_path.read_text())
+        assert doc["schema"] == "repro.profile/v1"
+        assert doc["schedule_quality"]
+
+    def test_profile_unoptimized_has_no_schedule_table(self, capsys):
+        # no directives -> no pre-send groups -> the quality table is empty
+        assert main(["profile", str(JACOBI), "--nodes", "4",
+                     "--protocol", "stache", "--unoptimized"]) == 0
+        assert "no pre-send activity" in capsys.readouterr().out
+
+
+class TestFaultsObservability:
+    def test_faults_trace_and_metrics(self, tmp_path, capsys):
+        trace_path = tmp_path / "faults-trace.json"
+        metrics_path = tmp_path / "faults-metrics.json"
+        rc = main(["faults", "--plans", "drop", "--seeds", "1",
+                   "--no-traces", "--protocols", "stache",
+                   "--trace", str(trace_path),
+                   "--metrics-out", str(metrics_path)])
+        assert rc == 0
+        assert "VALID Chrome trace" in capsys.readouterr().out
+        from repro.obs import MetricsRegistry, validate_chrome_trace
+
+        assert validate_chrome_trace(
+            json.loads(trace_path.read_text())) == []
+        reg = MetricsRegistry.from_dict(json.loads(metrics_path.read_text()))
+        assert "node.cycles" in reg.names()
