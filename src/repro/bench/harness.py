@@ -23,6 +23,8 @@ class VersionSpec:
     config: MachineConfig
     build_kwargs: dict = field(default_factory=dict)
     variant: str = "cstar"
+    #: run on the compiled fast path (bit-identical; see repro.fastpath)
+    fast: bool = False
 
 
 @dataclass
@@ -55,17 +57,20 @@ class VersionResult:
         )
 
 
-def run_version(spec: VersionSpec, tracer=None) -> VersionResult:
+def run_version(spec: VersionSpec, tracer=None, fast: bool | None = None) -> VersionResult:
     """Build the program, run it on a fresh machine, and collect stats.
 
     ``tracer`` optionally attaches a :class:`repro.obs.events.Tracer` to the
-    machine so benchmark runs can export event timelines.
+    machine so benchmark runs can export event timelines.  ``fast``
+    overrides ``spec.fast`` when given (``repro reproduce --fast`` threads
+    it here without rebuilding every spec).
     """
     kwargs = dict(spec.build_kwargs)
     if spec.variant != "cstar":
         kwargs["variant"] = spec.variant
     prog = spec.app.build(**kwargs)
-    machine = make_machine(spec.config, spec.protocol)
+    use_fast = spec.fast if fast is None else fast
+    machine = make_machine(spec.config, spec.protocol, fast=use_fast)
     if tracer is not None:
         machine.attach_tracer(tracer)
     env = prog.run(machine, optimized=spec.optimized)

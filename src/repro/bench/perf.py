@@ -1,0 +1,323 @@
+"""Wall-clock benchmarks and regression gate for the compiled fast path.
+
+The suite times the Table-1 workloads (the Figure 5-7 configurations from
+:mod:`repro.bench.figures`) on both the reference path and the compiled
+fast path (:mod:`repro.fastpath`), plus a lock-step microbenchmark that
+isolates pure per-event engine overhead.  Every pair of runs must agree on
+``wall_time`` and ``total_dispatched`` — the fast path is bit-identical by
+contract, so any divergence is a hard error, not a perf number.
+
+Snapshots (``benchmarks/BENCH_baseline.json`` / ``BENCH_fastpath.json``,
+schema :data:`BENCH_SCHEMA`) embed the per-workload timings, the measured
+speedups, and the runs' stats as a ``repro.metrics/v1`` registry.  The
+regression gate (:func:`compare_snapshots`) is **ratio-based**: absolute
+seconds are machine-dependent, but the fastpath/baseline speedup measured
+in one process is stable, so CI re-measures the quick profile and fails
+when a speedup falls more than ``tolerance`` below the committed one.
+
+See ``docs/PERFORMANCE.md`` for the measured trajectory and the analysis
+of why the bit-identical 1:1 event mandate bounds the achievable speedup.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+
+from repro.core import make_machine
+from repro.obs.metrics import MetricsRegistry, registry_from_run
+from repro.sim.stats import RunStats
+from repro.tempest.machine import PhaseTrace
+from repro.util.config import MachineConfig
+from repro.util.errors import SimulationError
+
+BENCH_SCHEMA = "repro.bench/v1"
+
+#: synthetic pseudo-app label for the engine microbenchmark
+MICROBENCH = "microbench/lockstep"
+
+
+@dataclass(frozen=True)
+class BenchCase:
+    """One benchmarked workload configuration."""
+
+    label: str
+    app: str  # app module name under repro.apps, or MICROBENCH
+    protocol: str
+    optimized: bool
+    block_size: int
+    build_kwargs: dict
+    profile: str  # "full" (committed numbers) or "quick" (CI gate)
+
+
+def _figure_cases() -> list[BenchCase]:
+    from repro.bench.figures import (
+        ADAPTIVE_KW,
+        BARNES_KW,
+        WATER_KW,
+    )
+
+    full = [
+        BenchCase("adaptive/stache-unopt (32)", "adaptive", "stache", False,
+                  32, dict(ADAPTIVE_KW), "full"),
+        BenchCase("adaptive/predictive-opt (32)", "adaptive", "predictive",
+                  True, 32, dict(ADAPTIVE_KW), "full"),
+        BenchCase("barnes/predictive-opt (32)", "barnes", "predictive", True,
+                  32, dict(BARNES_KW), "full"),
+        BenchCase("water/stache-unopt (64)", "water", "stache", False,
+                  64, dict(WATER_KW), "full"),
+        BenchCase("water/predictive-opt (32)", "water", "predictive", True,
+                  32, dict(WATER_KW), "full"),
+        BenchCase("water/predictive-opt (256)", "water", "predictive", True,
+                  256, dict(WATER_KW), "full"),
+        BenchCase(MICROBENCH, MICROBENCH, "predictive", True, 32, {}, "full"),
+    ]
+    quick = [
+        BenchCase("adaptive/quick (32)", "adaptive", "predictive", True,
+                  32, dict(ADAPTIVE_KW, iterations=3), "quick"),
+        BenchCase("water/quick (32)", "water", "predictive", True,
+                  32, dict(WATER_KW, iterations=2), "quick"),
+        BenchCase(MICROBENCH + " quick", MICROBENCH, "predictive", True, 32,
+                  dict(ops=20_000), "quick"),
+    ]
+    return full + quick
+
+
+def table1_cases(profile: str | None = None) -> list[BenchCase]:
+    """The benchmark matrix; ``profile`` filters to "full" or "quick"."""
+    cases = _figure_cases()
+    if profile is None:
+        return cases
+    return [c for c in cases if c.profile == profile]
+
+
+def _case_config(case: BenchCase) -> MachineConfig:
+    from repro.bench.figures import ADAPTIVE_CFG, BARNES_CFG, WATER_CFG
+
+    base = {
+        "adaptive": ADAPTIVE_CFG,
+        "barnes": BARNES_CFG,
+        "water": WATER_CFG,
+        MICROBENCH: MachineConfig(n_nodes=8, page_size=512),
+    }[case.app]
+    return base.with_(block_size=case.block_size)
+
+
+@dataclass
+class CaseResult:
+    case: BenchCase
+    fast: bool
+    sim_seconds: float
+    total_seconds: float
+    wall_cycles: float
+    events: int
+    stats: RunStats
+
+
+def _run_microbench(case: BenchCase, fast: bool) -> tuple[float, RunStats, int]:
+    """Pure engine overhead: all nodes compute in lock step, one op per
+    dispatch (every op advances time past the peers' horizon)."""
+    cfg = _case_config(case)
+    ops_per_node = int(case.build_kwargs.get("ops", 100_000))
+    machine = make_machine(cfg, case.protocol, fast=fast)
+    trace = PhaseTrace(
+        "micro", [[("c", 1.0)] * ops_per_node
+                  for _ in range(cfg.n_nodes)]
+    )
+    t0 = time.perf_counter()
+    machine.run_phase(trace)
+    elapsed = time.perf_counter() - t0
+    stats = machine.finish()
+    return elapsed, stats, machine.engine.total_dispatched
+
+
+def _run_app(case: BenchCase, fast: bool) -> tuple[float, float, RunStats, int]:
+    """One timed run; returns (sim_seconds, total_seconds, stats, events).
+
+    ``sim_seconds`` covers ``run_phase`` + ``begin_group`` only — the part
+    the fast path accelerates; trace generation (app physics) is identical
+    Python on both paths and would only dilute the ratio.
+    """
+    import repro.apps as apps
+
+    app = getattr(apps, case.app)
+    prog = app.build(**case.build_kwargs)
+    machine = make_machine(_case_config(case), case.protocol, fast=fast)
+
+    sim = [0.0]
+    inner_run_phase = machine.run_phase
+    inner_begin_group = machine.begin_group
+
+    def run_phase(trace):
+        t0 = time.perf_counter()
+        try:
+            return inner_run_phase(trace)
+        finally:
+            sim[0] += time.perf_counter() - t0
+
+    def begin_group(directive_id):
+        t0 = time.perf_counter()
+        try:
+            return inner_begin_group(directive_id)
+        finally:
+            sim[0] += time.perf_counter() - t0
+
+    machine.run_phase = run_phase
+    machine.begin_group = begin_group
+    t0 = time.perf_counter()
+    env = prog.run(machine, optimized=case.optimized)
+    stats = env.finish()
+    total = time.perf_counter() - t0
+    return sim[0], total, stats, machine.engine.total_dispatched
+
+
+def run_case(case: BenchCase, fast: bool, repeats: int = 3) -> CaseResult:
+    """Best-of-``repeats`` timing of one case on one path."""
+    best_sim = best_total = float("inf")
+    stats = None
+    events = 0
+    for _ in range(max(1, repeats)):
+        if case.app == MICROBENCH:
+            elapsed, stats, events = _run_microbench(case, fast)
+            sim_s = total_s = elapsed
+        else:
+            sim_s, total_s, stats, events = _run_app(case, fast)
+        best_sim = min(best_sim, sim_s)
+        best_total = min(best_total, total_s)
+    return CaseResult(case, fast, best_sim, best_total,
+                      stats.wall_time, events, stats)
+
+
+def measure(cases, repeats: int = 3):
+    """Run every case on both paths; enforce simulated-result equality.
+
+    Returns ``[(reference, fastpath), ...]`` pairs.  A ``wall_time`` or
+    event-count divergence means the fast path broke its bit-identical
+    contract and raises immediately — perf numbers for a wrong simulation
+    are meaningless.
+    """
+    pairs = []
+    for case in cases:
+        ref = run_case(case, fast=False, repeats=repeats)
+        fst = run_case(case, fast=True, repeats=repeats)
+        if ref.wall_cycles != fst.wall_cycles or ref.events != fst.events:
+            raise SimulationError(
+                f"fast path diverged on {case.label!r}: "
+                f"wall {ref.wall_cycles} vs {fst.wall_cycles}, "
+                f"events {ref.events} vs {fst.events}"
+            )
+        pairs.append((ref, fst))
+    return pairs
+
+
+def _workload_row(result: CaseResult, paired: CaseResult | None) -> dict:
+    case = result.case
+    row = {
+        "label": case.label,
+        "app": case.app,
+        "protocol": case.protocol,
+        "optimized": case.optimized,
+        "block_size": case.block_size,
+        "profile": case.profile,
+        "sim_seconds": result.sim_seconds,
+        "total_seconds": result.total_seconds,
+        "wall_cycles": result.wall_cycles,
+        "events": result.events,
+    }
+    if paired is not None:
+        row["speedup_sim"] = paired.sim_seconds / result.sim_seconds
+        row["speedup_total"] = paired.total_seconds / result.total_seconds
+    return row
+
+
+def snapshot(pairs, mode: str, repeats: int) -> dict:
+    """Serialize one path's results (``mode`` = "baseline" | "fastpath").
+
+    Fastpath rows carry ``speedup_*`` relative to the paired baseline run
+    from the same process.  Run stats ride along as a ``repro.metrics/v1``
+    registry so the snapshot round-trips through
+    :meth:`~repro.obs.metrics.MetricsRegistry.from_dict`.
+    """
+    if mode not in ("baseline", "fastpath"):
+        raise ValueError(f"unknown snapshot mode {mode!r}")
+    fast = mode == "fastpath"
+    rows = []
+    registries = []
+    for ref, fst in pairs:
+        own, other = (fst, ref) if fast else (ref, fst)
+        rows.append(_workload_row(own, other if fast else None))
+        registries.append(registry_from_run(
+            own.stats, bench=own.case.label, path=mode,
+            protocol=own.case.protocol, block_size=own.case.block_size,
+        ))
+    return {
+        "schema": BENCH_SCHEMA,
+        "mode": mode,
+        "repeats": repeats,
+        "workloads": rows,
+        "metrics": MetricsRegistry.merge_all(registries).to_dict(),
+    }
+
+
+def load_snapshot(doc: dict) -> dict:
+    """Validate a snapshot document (schema + embedded metrics registry)."""
+    if doc.get("schema") != BENCH_SCHEMA:
+        raise ValueError(
+            f"unsupported bench schema {doc.get('schema')!r}; "
+            f"expected {BENCH_SCHEMA!r}"
+        )
+    MetricsRegistry.from_dict(doc["metrics"])  # raises on a bad registry
+    return doc
+
+
+def compare_snapshots(committed: dict, measured: dict,
+                      tolerance: float = 0.15) -> list[str]:
+    """The regression gate: measured speedups vs the committed snapshot.
+
+    Returns a list of human-readable regressions (empty = pass).  A
+    workload regresses when its measured ``speedup_sim`` falls more than
+    ``tolerance`` (fractionally) below the committed value; committed
+    workloads the measurement skipped are ignored (CI runs the quick
+    profile only), as are newly added ones (no baseline yet).
+    """
+    load_snapshot(committed)
+    load_snapshot(measured)
+    old = {w["label"]: w for w in committed["workloads"]}
+    problems = []
+    for row in measured["workloads"]:
+        base = old.get(row["label"])
+        if base is None:
+            continue
+        was, now = base.get("speedup_sim"), row.get("speedup_sim")
+        if was is None or now is None:
+            continue
+        if now < was * (1.0 - tolerance):
+            problems.append(
+                f"{row['label']}: fastpath speedup regressed "
+                f"{was:.2f}x -> {now:.2f}x "
+                f"(> {tolerance:.0%} below the committed snapshot)"
+            )
+    return problems
+
+
+def render_pairs(pairs) -> str:
+    from repro.util.tables import format_table
+
+    rows = []
+    for ref, fst in pairs:
+        rows.append([
+            ref.case.label,
+            ref.case.profile,
+            ref.sim_seconds,
+            fst.sim_seconds,
+            ref.sim_seconds / fst.sim_seconds,
+            ref.total_seconds / fst.total_seconds,
+            float(ref.events),
+        ])
+    return format_table(
+        ["workload", "profile", "ref sim s", "fast sim s",
+         "sim speedup", "total speedup", "events"],
+        rows,
+        floatfmt=".3g",
+        title="fast path vs reference (best-of-N wall clock)",
+    )

@@ -82,7 +82,7 @@ def _simulate_file(args: argparse.Namespace, tracer=None):
     program = compile_source(open(args.file).read())
     cfg = MachineConfig(n_nodes=args.nodes, block_size=args.block_size,
                         page_size=max(args.page_size, args.block_size))
-    machine = make_machine(cfg, args.protocol)
+    machine = make_machine(cfg, args.protocol, fast=getattr(args, "fast", False))
     if tracer is not None:
         machine.attach_tracer(tracer)
     env = program.run(machine, optimized=not args.unoptimized)
@@ -90,8 +90,12 @@ def _simulate_file(args: argparse.Namespace, tracer=None):
 
 
 def _run_meta(args: argparse.Namespace) -> dict:
-    return dict(app=args.file, protocol=args.protocol, nodes=args.nodes,
+    meta = dict(app=args.file, protocol=args.protocol, nodes=args.nodes,
                 block_size=args.block_size, optimized=not args.unoptimized)
+    # only label fast-path runs, so reference-path metric labels are stable
+    if getattr(args, "fast", False):
+        meta["fast"] = True
+    return meta
 
 
 def _write_json(path: str, doc: dict) -> None:
@@ -203,7 +207,7 @@ def _cmd_figure(args: argparse.Namespace) -> int:
         "fig5": figures.fig5_adaptive,
         "fig6": figures.fig6_barnes,
         "fig7": figures.fig7_water,
-    }[args.name]()
+    }[args.name](fast=args.fast)
     print(fig.render())
     return 0
 
@@ -232,15 +236,15 @@ def _cmd_reproduce(args: argparse.Namespace) -> int:
     t0 = time.time()
     sections.append(("Table 1", figures.table1()))
 
-    fig5 = figures.fig5_adaptive()
+    fig5 = figures.fig5_adaptive(fast=args.fast)
     figures.check_fig5(fig5)
     sections.append(("Figure 5", fig5.render()))
 
-    fig6 = figures.fig6_barnes()
+    fig6 = figures.fig6_barnes(fast=args.fast)
     figures.check_fig6(fig6)
     sections.append(("Figure 6", fig6.render()))
 
-    fig7 = figures.fig7_water()
+    fig7 = figures.fig7_water(fast=args.fast)
     figures.check_fig7(fig7)
     sections.append(("Figure 7", fig7.render()))
 
@@ -302,9 +306,50 @@ def _cmd_reproduce(args: argparse.Namespace) -> int:
         spec = VersionSpec("C** opt (32)", water, "predictive", True,
                            WATER_CFG.with_(block_size=32), dict(WATER_KW))
         tracer = EventTrace()
-        run_version(spec, tracer=tracer)
+        run_version(spec, tracer=tracer, fast=args.fast)
         if _export_trace(args.trace, tracer, spec.config.n_nodes):
             return 1
+    return 0
+
+
+def _cmd_bench(args: argparse.Namespace) -> int:
+    """Time the fast path against the reference path; write/check snapshots."""
+    import json
+    import pathlib
+
+    from repro.bench import perf
+
+    profile = "quick" if args.quick else None
+    cases = perf.table1_cases(profile)
+    pairs = perf.measure(cases, repeats=args.repeats)
+    print(perf.render_pairs(pairs))
+
+    if args.write:
+        out_dir = pathlib.Path(args.dir)
+        for mode, name in (("baseline", "BENCH_baseline.json"),
+                           ("fastpath", "BENCH_fastpath.json")):
+            doc = perf.snapshot(pairs, mode, repeats=args.repeats)
+            _write_json(str(out_dir / name), doc)
+            print(f"{mode} snapshot written to {out_dir / name}")
+
+    if args.check:
+        committed = pathlib.Path(args.dir) / "BENCH_fastpath.json"
+        if not committed.is_file():
+            print(f"error: no committed snapshot at {committed}",
+                  file=sys.stderr)
+            return 2
+        measured = perf.snapshot(pairs, "fastpath", repeats=args.repeats)
+        problems = perf.compare_snapshots(
+            perf.load_snapshot(json.loads(committed.read_text())),
+            measured, tolerance=args.tolerance,
+        )
+        if problems:
+            print(f"\nPERF GATE: {len(problems)} regression(s) vs {committed}:")
+            for p in problems:
+                print(f"  {p}")
+            return 1
+        print(f"\nperf gate passed (tolerance {args.tolerance:.0%}, "
+              f"vs {committed})")
     return 0
 
 
@@ -444,6 +489,7 @@ def _cmd_faults(args: argparse.Namespace) -> int:
         shrink=not args.no_shrink,
         progress=print,
         dump_scripts=args.dump_scripts,
+        fast=args.fast,
     )
     print(report.summary())
 
@@ -458,7 +504,8 @@ def _cmd_faults(args: argparse.Namespace) -> int:
         protocol = (protocols or ["predictive"])[0]
         workload = generate_workload(0)
         tracer = EventTrace()
-        obs = run_workload(workload, protocol, fault_plan=plan, tracer=tracer)
+        obs = run_workload(workload, protocol, fault_plan=plan, tracer=tracer,
+                           fast=args.fast)
         if args.metrics_out:
             _write_json(
                 args.metrics_out,
@@ -497,6 +544,9 @@ def build_parser() -> argparse.ArgumentParser:
         p.add_argument("--page-size", type=int, default=512)
         p.add_argument("--unoptimized", action="store_true",
                        help="ignore compiler directives (the paper's baseline)")
+        p.add_argument("--fast", action="store_true",
+                       help="run on the compiled fast path (calendar-queue "
+                            "engine + packed state; bit-identical results)")
 
     p = sub.add_parser("run", help="compile and simulate a C** file")
     add_machine_options(p)
@@ -539,6 +589,8 @@ def build_parser() -> argparse.ArgumentParser:
 
     p = sub.add_parser("figure", help="regenerate a paper table/figure")
     p.add_argument("name", choices=["table1", "fig5", "fig6", "fig7"])
+    p.add_argument("--fast", action="store_true",
+                   help="run on the compiled fast path (bit-identical)")
     p.set_defaults(fn=_cmd_figure)
 
     p = sub.add_parser("ablation", help="run a design-choice ablation")
@@ -559,7 +611,34 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--trace", metavar="PATH",
                    help="also export a Chrome trace of the optimized water "
                         "run (Figure 7's fastest bar) to PATH")
+    p.add_argument("--fast", action="store_true",
+                   help="run the figure matrix on the compiled fast path "
+                        "(bit-identical; ablations and sweeps stay on the "
+                        "reference path)")
     p.set_defaults(fn=_cmd_reproduce)
+
+    p = sub.add_parser(
+        "bench",
+        help="time the compiled fast path against the reference path on the "
+             "Table-1 workloads; write or check BENCH_*.json snapshots",
+    )
+    p.add_argument("--quick", action="store_true",
+                   help="run the scaled-down CI profile instead of the full "
+                        "Table-1 matrix")
+    p.add_argument("--repeats", type=int, default=3,
+                   help="timing repeats per case (best-of; default 3)")
+    p.add_argument("--write", action="store_true",
+                   help="write BENCH_baseline.json and BENCH_fastpath.json "
+                        "snapshots into --dir")
+    p.add_argument("--check", action="store_true",
+                   help="compare measured speedups against the committed "
+                        "BENCH_fastpath.json in --dir; exit 1 on regression")
+    p.add_argument("--tolerance", type=float, default=0.15,
+                   help="fractional speedup drop tolerated by --check "
+                        "(default 0.15)")
+    p.add_argument("--dir", default="benchmarks",
+                   help="snapshot directory (default: benchmarks)")
+    p.set_defaults(fn=_cmd_bench)
 
     p = sub.add_parser("audit", help="audit protocol transition tables")
     p.set_defaults(fn=_cmd_audit)
@@ -630,6 +709,9 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--trace", metavar="PATH",
                    help="export a Chrome trace of one representative "
                         "faulted run to PATH")
+    p.add_argument("--fast", action="store_true",
+                   help="run the campaign's FIFO replays on the compiled "
+                        "fast path (bit-identical)")
     p.set_defaults(fn=_cmd_faults)
 
     return parser

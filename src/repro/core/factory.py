@@ -22,7 +22,7 @@ PROTOCOLS = {
 
 
 def make_machine(config: MachineConfig, protocol: str = "stache",
-                 engine=None) -> Machine:
+                 engine=None, fast: bool = False) -> Machine:
     """Create a simulated machine running the named coherence protocol.
 
     ``protocol`` is one of ``"stache"`` (the write-invalidate default),
@@ -30,11 +30,27 @@ def make_machine(config: MachineConfig, protocol: str = "stache",
     (the hand-optimized SPMD baseline's custom protocol).  ``engine``
     optionally supplies a pre-built event engine — the verification
     subsystem passes an :class:`~repro.verify.interleave.ExplorerEngine`
-    here to fuzz message interleavings.
+    here to fuzz message interleavings.  ``fast=True`` selects the
+    compiled fast path (:mod:`repro.fastpath`): a calendar-queue engine,
+    packed tag tables, and the analyze/specialize/schedule pipeline, with
+    behaviour bit-identical to the reference path.
     """
     cls = PROTOCOLS.get(protocol)
     if cls is None:
         raise ConfigError(
             f"unknown protocol {protocol!r}; available: {sorted(PROTOCOLS)}"
         )
-    return Machine(config, cls, engine=engine)
+    if fast:
+        from repro.fastpath.calqueue import FastEngine
+
+        if engine is None:
+            engine = FastEngine()
+        elif not isinstance(engine, FastEngine):
+            raise ConfigError(
+                "fast=True requires a FastEngine (or no engine argument); "
+                f"got {type(engine).__name__}"
+            )
+    machine = Machine(config, cls, engine=engine)
+    if fast:
+        machine.use_fastpath()
+    return machine

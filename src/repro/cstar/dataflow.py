@@ -16,7 +16,9 @@ aggregate (the paper's three rules):
 3. **Unstructured reads generate** and kill nothing (multiple readers).
 
 Join is set union (any-path); the fixpoint iterates in reverse postorder
-over the CFG using :class:`~repro.util.bitvec.BitVector`.
+over the CFG using :class:`~repro.util.bitvec.BitVector` — or, for wide
+lattices, its packed word-array twin
+:class:`~repro.fastpath.packed.PackedBitVector` (see :func:`new_vector`).
 """
 
 from __future__ import annotations
@@ -25,17 +27,35 @@ from dataclasses import dataclass
 
 from repro.cstar.cfg import CFG, BasicBlock, build_cfg
 from repro.cstar.flow import FlowCall, FlowNode, collect_aggregates
+from repro.fastpath.packed import HAVE_NUMPY, PackedBitVector
 from repro.util.bitvec import BitVector
+
+#: programs with at least this many aggregates get the packed word-array
+#: vector (O(width/64) whole-vector ops instead of big-int shifting);
+#: below it the single-int BitVector wins on constant factors
+PACKED_WIDTH_THRESHOLD = 256
+
+
+def new_vector(width: int):
+    """Pick the bit-vector representation for one analysis instance.
+
+    All vectors of one :class:`ReachingUnstructured` share a width, so the
+    choice is consistent per analysis — the two classes never mix (both
+    reject foreign operands).
+    """
+    if HAVE_NUMPY and width >= PACKED_WIDTH_THRESHOLD:
+        return PackedBitVector(width)
+    return BitVector(width)
 
 
 @dataclass
 class TransferFunction:
     """gen/kill bit vectors of one basic block (composed over its calls)."""
 
-    gen: BitVector
-    kill: BitVector
+    gen: "BitVector | PackedBitVector"
+    kill: "BitVector | PackedBitVector"
 
-    def apply(self, in_: BitVector) -> BitVector:
+    def apply(self, in_):
         return (in_ - self.kill) | self.gen
 
 
@@ -48,10 +68,10 @@ class ReachingUnstructured:
         self.aggregates = collect_aggregates(root)
         self.index = {name: i for i, name in enumerate(self.aggregates)}
         self.cfg, self.call_block = build_cfg(root)
-        self.block_in: dict[int, BitVector] = {}
-        self.block_out: dict[int, BitVector] = {}
+        self.block_in: dict = {}
+        self.block_out: dict = {}
         #: IN set *at each call site* (before the call executes)
-        self.call_in: dict[int, BitVector] = {}
+        self.call_in: dict = {}
         self.iterations = 0
         self._solve()
 
@@ -59,8 +79,8 @@ class ReachingUnstructured:
 
     def _call_transfer(self, call: FlowCall) -> TransferFunction:
         width = len(self.aggregates)
-        gen = BitVector(width)
-        kill = BitVector(width)
+        gen = new_vector(width)
+        kill = new_vector(width)
         s = call.summary
         for agg in s.owner_writes():
             kill.set(self.index[agg])  # rule 1
@@ -74,7 +94,7 @@ class ReachingUnstructured:
     def _block_transfer(self, bb: BasicBlock) -> TransferFunction:
         """Compose call transfer functions left to right."""
         width = len(self.aggregates)
-        tf = TransferFunction(gen=BitVector(width), kill=BitVector(width))
+        tf = TransferFunction(gen=new_vector(width), kill=new_vector(width))
         for call in bb.calls:
             ct = self._call_transfer(call)
             # (x - K1 | G1) - K2 | G2  ==  x - (K1|K2) | ((G1 - K2) | G2)
@@ -88,15 +108,15 @@ class ReachingUnstructured:
         width = len(self.aggregates)
         tfs = {bb.id: self._block_transfer(bb) for bb in self.cfg.blocks}
         for bb in self.cfg.blocks:
-            self.block_in[bb.id] = BitVector(width)
-            self.block_out[bb.id] = BitVector(width)
+            self.block_in[bb.id] = new_vector(width)
+            self.block_out[bb.id] = new_vector(width)
         order = self.cfg.reverse_postorder()
         changed = True
         while changed:
             changed = False
             self.iterations += 1
             for bb in order:
-                in_ = BitVector(width)
+                in_ = new_vector(width)
                 for p in bb.preds:
                     in_ |= self.block_out[p.id]
                 out = tfs[bb.id].apply(in_)

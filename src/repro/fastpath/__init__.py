@@ -1,0 +1,34 @@
+"""The compiled simulation fast path (opt-in, behind ``--fast``).
+
+``repro.fastpath`` replaces the three interpreter-bound layers of the
+reference simulator with compiled-down equivalents while preserving
+*bit-identical* observable behaviour (RunStats, checkpoints, dispatch
+order):
+
+* :mod:`~repro.fastpath.calqueue` — a slotted calendar queue
+  (:class:`FastEngine`) that dispatches same-timestamp batches without
+  per-event heap churn or closure allocation;
+* :mod:`~repro.fastpath.packed` — packed-int/array representations for
+  sharer sets, tag tables, and data-flow bit vectors;
+* :mod:`~repro.fastpath.passes` — a pass-group pipeline
+  (analyze → specialize → schedule) that turns each phase trace into
+  static dispatch state for :class:`FastReplayProcessor`, whose ``step``
+  loop avoids dict lookups and virtual calls.
+
+The reference path stays untouched and authoritative: the differential
+equivalence suite (``tests/fastpath/``) proves the two paths agree before
+any benchmark number is trusted (see ``docs/PERFORMANCE.md``).
+"""
+
+from repro.fastpath.calqueue import FastEngine
+from repro.fastpath.packed import NodeSet, PackedBitVector, PackedTagTable
+from repro.fastpath.passes import FastPathPipeline, FastReplayProcessor
+
+__all__ = [
+    "FastEngine",
+    "FastPathPipeline",
+    "FastReplayProcessor",
+    "NodeSet",
+    "PackedBitVector",
+    "PackedTagTable",
+]

@@ -1,0 +1,495 @@
+"""A slotted calendar queue engine with batched same-timestamp dispatch.
+
+The reference :class:`~repro.sim.engine.Engine` pays for every event three
+times: an :class:`~repro.sim.engine.Event` allocation, a closure allocation
+for the callback, and ``heappush``/``heappop`` with dataclass ``__lt__``
+comparisons.  Profiling the Table-1 workloads (``repro profile``) shows
+those three costs dominating the drain loop.
+
+:class:`FastEngine` keeps the exact dispatch semantics — (time, seq) order
+with FIFO tie-break, ``until``/``max_events``/``pending``/``peek_time``
+behaviour, the same ``_seq`` allocation per scheduled item — but stores the
+queue as a *calendar*: a dict mapping each distinct timestamp to its slot
+(a list of entries) plus a small heap of the distinct slot times.  Because
+sequence numbers are allocated globally in increasing order, every slot
+list is seq-ascending by construction and never needs sorting; a whole
+same-timestamp batch dispatches with one dict pop and one heap pop.
+
+Two kinds of entry share a slot:
+
+* :class:`~repro.sim.engine.Event` instances from :meth:`schedule` — the
+  generic (cancellable) path, used by protocols, transports and timers;
+* bare ``(proc, incarnation)`` tuples from :meth:`push_step` — processor
+  continuations, dispatched by calling ``proc.step(horizon)`` directly so
+  the hot replay loop allocates no Event and no closure.  ``incarnation``
+  mirrors the crash-restart guard the reference path closes over
+  (``ReplayProcessor._run_alive``): a stale or down incarnation is counted
+  as a dispatched event that does nothing, exactly like the reference.
+
+Stale-peek pruning
+------------------
+
+Building this queue surfaced a cancel/:attr:`pending` interaction worth
+making explicit: a slot whose entries are *all* cancelled would keep
+``peek_time`` reporting that slot's stale frontier time (and ``pending``
+counting garbage) unless peeking deletes the dead slot and pops its heap
+time.  :meth:`_peek_future` performs that pruning; the reference engine's
+equivalent contract (``Engine._prune_cancelled_front``) is documented and
+regression-tested against both engines in ``tests/fastpath``.
+"""
+
+from __future__ import annotations
+
+from heapq import heappop, heappush
+from math import inf
+from typing import Callable
+
+from repro.sim.engine import Engine, Event
+from repro.util.errors import SimulationError
+
+
+class FastEngine(Engine):
+    """Drop-in :class:`Engine` with a calendar queue and step-entry batching.
+
+    Behavioural contract (checked by the Hypothesis differential suite):
+    for any sequence of ``schedule``/``cancel``/``run`` calls, dispatch
+    order, ``now``, ``pending``, ``peek_time``, ``total_dispatched`` and
+    ``max_events`` errors are identical to the reference engine.
+    """
+
+    def __init__(self, default_max_events: int | None = None) -> None:
+        super().__init__()
+        #: time -> seq-ascending list of Event | (proc, incarnation)
+        self._slots: dict[float, list] = {}
+        #: heap of distinct slot times present in ``_slots``
+        self._times: list[float] = []
+        #: batch currently being dispatched (run() in progress), or None;
+        #: peek_time/pending must see its not-yet-dispatched remainder
+        self._cur_list: list | None = None
+        self._cur_time: float = 0.0
+        self._cur_idx: int = 0
+        #: applied when run() is called without an explicit max_events
+        #: (the fault campaign's livelock guard, cf. ExplorerEngine)
+        self.default_max_events = default_max_events
+
+    # -- scheduling ----------------------------------------------------------
+
+    def schedule(self, time: float, fn: Callable[[], None]) -> Event:
+        """Schedule ``fn`` at absolute ``time`` (generic, cancellable)."""
+        if time < self.now:
+            raise SimulationError(
+                f"cannot schedule event at t={time} before now={self.now}"
+            )
+        ev = Event(time, self._seq, fn)
+        self._seq += 1
+        slot = self._slots.get(time)
+        if slot is None:
+            self._slots[time] = [ev]
+            heappush(self._times, time)
+        else:
+            slot.append(ev)
+        return ev
+
+    def push_step(self, time: float, proc, incarnation: int = -1) -> None:
+        """Schedule a processor continuation without Event/closure overhead.
+
+        ``proc.step(horizon)`` runs when the entry dispatches, unless
+        ``incarnation >= 0`` and the proc's node is down or has been
+        restarted since (the dispatch still counts, like the reference
+        path's ``_run_alive`` guard event).  Step entries are never
+        cancelled — nothing in the model cancels a processor continuation.
+        """
+        if time < self.now:
+            raise SimulationError(
+                f"cannot schedule event at t={time} before now={self.now}"
+            )
+        self._seq += 1
+        slot = self._slots.get(time)
+        if slot is None:
+            self._slots[time] = [(proc, incarnation)]
+            heappush(self._times, time)
+        else:
+            slot.append((proc, incarnation))
+
+    def push_steps(self, time: float, procs_with_inc: list) -> None:
+        """Batch form of :meth:`push_step`: one slot, N entries, N seqs.
+
+        Used by the schedule pass to launch a phase: entries land in one
+        calendar slot in node order, mirroring the reference path's N
+        ``schedule`` calls at the phase start time.
+        """
+        if time < self.now:
+            raise SimulationError(
+                f"cannot schedule event at t={time} before now={self.now}"
+            )
+        if not procs_with_inc:
+            return
+        self._seq += len(procs_with_inc)
+        slot = self._slots.get(time)
+        if slot is None:
+            self._slots[time] = list(procs_with_inc)
+            heappush(self._times, time)
+        else:
+            slot.extend(procs_with_inc)
+
+    # -- queue inspection ----------------------------------------------------
+
+    def _peek_future(self) -> float | None:
+        """Earliest slot time holding a live entry; prunes dead slots.
+
+        This is where the stale-peek bug is fixed: leading cancelled
+        events are compacted away and an all-cancelled slot is deleted
+        outright (its heap time popped), so a frontier of cancelled
+        timers can never be reported as the next event time.
+        """
+        slots, times = self._slots, self._times
+        while times:
+            t = times[0]
+            slot = slots.get(t)
+            if slot is None:
+                # slot emptied through a non-run() path (e.g. _next_event)
+                heappop(times)
+                continue
+            i, n = 0, len(slot)
+            while i < n:
+                e = slot[i]
+                if type(e) is tuple or not e.cancelled:
+                    break
+                i += 1
+            if i == n:
+                del slots[t]
+                heappop(times)
+                continue
+            if i:
+                del slot[:i]  # keep repeated peeks O(1) amortized
+            return t
+        return None
+
+    def peek_time(self) -> float | None:
+        """Timestamp of the next live event, or None if the queue is empty.
+
+        Mid-batch (from inside a callback running under :meth:`run`) the
+        not-yet-dispatched remainder of the current slot is part of the
+        queue, exactly as same-timestamp events still in the reference
+        engine's heap would be.
+        """
+        lst = self._cur_list
+        if lst is not None:
+            i, n = self._cur_idx, len(lst)
+            while i < n:
+                e = lst[i]
+                if type(e) is tuple or not e.cancelled:
+                    return self._cur_time
+                i += 1
+        return self._peek_future()
+
+    @property
+    def pending(self) -> int:
+        """Live (not dispatched, not cancelled) entry count; prunes garbage.
+
+        Same contract as :attr:`Engine.pending`: quiescence checks rely on
+        a zero return meaning the queue holds nothing at all, so cancelled
+        events are removed rather than merely skipped.
+        """
+        slots = self._slots
+        n = 0
+        dead: list[float] = []
+        for t, slot in slots.items():
+            live = [e for e in slot if type(e) is tuple or not e.cancelled]
+            if len(live) != len(slot):
+                if live:
+                    slots[t] = live
+                else:
+                    dead.append(t)
+            n += len(live)
+        for t in dead:
+            del slots[t]
+            # the heap time goes stale; _peek_future prunes it lazily
+        lst = self._cur_list
+        if lst is not None:
+            for j in range(self._cur_idx, len(lst)):
+                e = lst[j]
+                if type(e) is tuple or not e.cancelled:
+                    n += 1
+        return n
+
+    def _next_event(self) -> Event | None:
+        """API-compat hook; the batched :meth:`run` below never calls it."""
+        t = self._peek_future()
+        if t is None:
+            return None
+        slot = self._slots[t]
+        e = slot[0]
+        if type(e) is tuple:
+            raise SimulationError(
+                "FastEngine step entries are dispatched only by run()"
+            )
+        del slot[0]
+        if not slot:
+            del self._slots[t]
+        return e
+
+    # -- execution -----------------------------------------------------------
+
+    def run(self, until: float | None = None, max_events: int | None = None) -> int:
+        """Dispatch events in (time, seq) order until the queue empties.
+
+        Identical semantics to :meth:`Engine.run`, including the
+        ``until`` cutoff (the first later event stays queued), the
+        ``max_events`` guard raising *after* the offending dispatch, and
+        the idle-clock advance to ``until`` when the queue drains.
+
+        The hot case is fused inline: a step entry followed by another
+        live entry in the same slot has horizon == slot time, so (op
+        charges being non-negative — the analyze pass checks) the
+        processor provably executes *exactly one* op before re-yielding.
+        That single op is interpreted here without calling ``step``, and
+        the continuation tuple is re-pushed unchanged (the incarnation
+        cannot change during a hit/compute op).  The slot's last live
+        step entry takes the general ``proc.step(horizon)`` catch-up
+        path.  ``_dispatched`` accumulates in a local and flushes in the
+        ``finally`` — nothing reads it mid-run (checkpointing requires
+        quiescence).
+        """
+        if max_events is None:
+            max_events = self.default_max_events
+        if self._running:
+            raise SimulationError("Engine.run is not reentrant")
+        self._running = True
+        dispatched = 0
+        limit = (1 << 62) if max_events is None else max_events
+        slots, times = self._slots, self._times
+        slots_get = slots.get
+        peek_future = self._peek_future
+        exhausted = False
+        try:
+            while True:
+                # inline _peek_future + slot claim: find the earliest slot
+                # holding a live entry, pruning dead slots and stale heap
+                # times on the way (one dict lookup, no method call)
+                while times:
+                    t = times[0]
+                    lst = slots.get(t)
+                    if lst is None:
+                        heappop(times)
+                        continue
+                    i = 0
+                    n = len(lst)
+                    while i < n:
+                        e0 = lst[i]
+                        if type(e0) is tuple or not e0.cancelled:
+                            break
+                        i += 1
+                    if i == n:
+                        del slots[t]
+                        heappop(times)
+                        continue
+                    break
+                else:
+                    exhausted = True
+                    break
+                if until is not None and t > until:
+                    break
+                # take the whole same-timestamp batch in one pop (leading
+                # cancelled entries are skipped via ``i``, as the reference
+                # heap pops them undispatched); entries scheduled at t
+                # *during* the batch open a fresh slot and join the next
+                # iteration (same (time, seq) order as the reference)
+                del slots[t]
+                heappop(times)
+                self._cur_time = t
+                self._cur_list = lst
+                self.now = t
+                try:
+                    while i < n:
+                        e = lst[i]
+                        i += 1
+                        self._cur_idx = i
+                        if type(e) is tuple:
+                            proc = e[0]
+                            inc = e[1]
+                            if inc >= 0:
+                                ctl = proc.machine.crash_controller
+                                nid = proc._nid
+                                if nid in ctl.down or ctl.incarnations[nid] != inc:
+                                    # stale incarnation: the guard event
+                                    # still counts as dispatched, exactly
+                                    # like _run_alive returning early
+                                    dispatched += 1
+                                    if dispatched >= limit:
+                                        raise SimulationError(
+                                            f"exceeded max_events={max_events}; "
+                                            "likely a livelocked model"
+                                        )
+                                    continue
+                            if proc.done:
+                                raise SimulationError(
+                                    f"processor {proc._nid} ran after completion"
+                                )
+                            if i < n:
+                                e2 = lst[i]
+                                live = type(e2) is tuple or not e2.cancelled
+                                if not live:
+                                    j = i + 1
+                                    while j < n:
+                                        e2 = lst[j]
+                                        if type(e2) is tuple or not e2.cancelled:
+                                            live = True
+                                            break
+                                        j += 1
+                            else:
+                                live = False
+                            if live:
+                                # fused single-op dispatch (horizon == t)
+                                ip = proc.index
+                                ca = proc.crash_at
+                                n_p = proc._n
+                                if ip >= n_p:
+                                    proc._done_exit()  # empty trace
+                                elif ca is not None and ip >= ca:
+                                    proc._crash_exit()
+                                else:
+                                    op = proc.ops[ip]
+                                    kind = op[0]
+                                    if kind == "r":
+                                        b = op[1]
+                                        data = proc._data
+                                        if b < len(data) and data[b]:
+                                            hc = proc._hit
+                                            t2 = proc.t + hc
+                                            proc.t = t2
+                                            proc._acc += hc
+                                            proc._hits += 1
+                                            ip += 1
+                                            proc.index = ip
+                                            nid = proc._nid
+                                            proc._accessed.add((nid, b))
+                                            hooks = proc._hooks
+                                            if hooks:
+                                                for h in hooks:
+                                                    h(nid, b, "r")
+                                            if ip >= n_p:
+                                                proc._done_exit()
+                                            elif ca is not None and ip >= ca:
+                                                # crash fires before the
+                                                # yield, as _run checks
+                                                proc._crash_exit()
+                                            else:
+                                                self._seq += 1
+                                                slot2 = slots_get(t2)
+                                                if slot2 is None:
+                                                    slots[t2] = [e]
+                                                    heappush(times, t2)
+                                                else:
+                                                    slot2.append(e)
+                                        else:
+                                            proc._miss_exit(op)
+                                    elif kind == "c":
+                                        c = op[1]
+                                        t2 = proc.t + c
+                                        proc.t = t2
+                                        proc._acc += c
+                                        ip += 1
+                                        proc.index = ip
+                                        if ip >= n_p:
+                                            proc._done_exit()
+                                        elif ca is not None and ip >= ca:
+                                            proc._crash_exit()
+                                        else:
+                                            self._seq += 1
+                                            slot2 = slots_get(t2)
+                                            if slot2 is None:
+                                                slots[t2] = [e]
+                                                heappush(times, t2)
+                                            else:
+                                                slot2.append(e)
+                                    elif kind == "w":
+                                        b = op[1]
+                                        data = proc._data
+                                        if b < len(data) and data[b] == 2:
+                                            hc = proc._hit
+                                            t2 = proc.t + hc
+                                            proc.t = t2
+                                            proc._acc += hc
+                                            proc._hits += 1
+                                            ip += 1
+                                            proc.index = ip
+                                            nid = proc._nid
+                                            proc._accessed.add((nid, b))
+                                            proc._pwrites.add((nid, b))
+                                            hooks = proc._hooks
+                                            if hooks:
+                                                for h in hooks:
+                                                    h(nid, b, "w")
+                                            if ip >= n_p:
+                                                proc._done_exit()
+                                            elif ca is not None and ip >= ca:
+                                                # crash fires before the
+                                                # yield, as _run checks
+                                                proc._crash_exit()
+                                            else:
+                                                self._seq += 1
+                                                slot2 = slots_get(t2)
+                                                if slot2 is None:
+                                                    slots[t2] = [e]
+                                                    heappush(times, t2)
+                                                else:
+                                                    slot2.append(e)
+                                        else:
+                                            proc._miss_exit(op)
+                                    else:
+                                        raise SimulationError(
+                                            f"unknown trace op {op!r}"
+                                        )
+                            else:
+                                horizon = peek_future()
+                                r = proc.step(
+                                    horizon if horizon is not None else inf
+                                )
+                                if r is not None:
+                                    # re-yield: same tuple, next seq — the
+                                    # allocation _schedule_run would make
+                                    self._seq += 1
+                                    slot2 = slots.get(r)
+                                    if slot2 is None:
+                                        slots[r] = [e]
+                                        heappush(times, r)
+                                    else:
+                                        slot2.append(e)
+                            dispatched += 1
+                            if dispatched >= limit:
+                                raise SimulationError(
+                                    f"exceeded max_events={max_events}; "
+                                    "likely a livelocked model"
+                                )
+                        elif not e.cancelled:
+                            e.fn()
+                            dispatched += 1
+                            if dispatched >= limit:
+                                raise SimulationError(
+                                    f"exceeded max_events={max_events}; "
+                                    "likely a livelocked model"
+                                )
+                finally:
+                    self._cur_list = None
+                    rem = lst[i:]
+                    if rem:
+                        # an exception unwound mid-batch: restore the
+                        # undispatched remainder so the queue state matches
+                        # the reference engine's (events stay in the heap)
+                        existing = slots.get(t)
+                        if existing is None:
+                            slots[t] = rem
+                            heappush(times, t)
+                        else:
+                            # entries scheduled at t during the batch carry
+                            # higher seqs, so remainder-first keeps order
+                            slots[t] = rem + existing
+            if until is not None and self.now < until and exhausted:
+                self.now = until
+        finally:
+            self._running = False
+            self._dispatched += dispatched
+        if self.obs is not None and self.obs.enabled and dispatched:
+            self.obs.emit("engine.run", self.now, dispatched=dispatched)
+        return dispatched

@@ -172,10 +172,12 @@ def _dump_script(directory: str | Path, fail: FaultFailure) -> Path:
     return path
 
 
-def _check_unrecoverable(workload: Workload, protocol: str) -> bool:
+def _check_unrecoverable(workload: Workload, protocol: str,
+                         fast: bool = False) -> bool:
     """The hopeless plan must fail fast with full structured context."""
     try:
-        run_workload(workload, protocol, fault_plan=UNRECOVERABLE_PLAN)
+        run_workload(workload, protocol, fault_plan=UNRECOVERABLE_PLAN,
+                     fast=fast)
     except CoherenceViolation as violation:
         cause = violation.__cause__
         return (
@@ -198,6 +200,7 @@ def run_campaign(
     check_unrecoverable: bool = True,
     progress: Callable[[str], None] | None = None,
     dump_scripts: str | Path | None = None,
+    fast: bool = False,
 ) -> FaultCampaignReport:
     """Run every (plan x workload x protocol) combination under the monitor.
 
@@ -207,6 +210,8 @@ def run_campaign(
     truth via the differential oracle.  ``dump_scripts`` names a directory
     into which each failure's scripted reproducer (shrunk when possible) is
     written as JSON for offline replay (:func:`repro.faults.plan.load_plan`).
+    ``fast`` runs every FIFO-ordered replay (including scripted shrinking
+    reruns) on the compiled fast path; results are bit-identical.
     """
     plans = plans if plans is not None else dict(BUNDLED_PLANS)
     report = FaultCampaignReport(plans=len(plans))
@@ -237,7 +242,7 @@ def run_campaign(
                     report.runs += 1
                     try:
                         observed[protocol] = run_workload(
-                            workload, protocol, fault_plan=plan
+                            workload, protocol, fault_plan=plan, fast=fast
                         )
                     except CoherenceViolation as violation:
                         fail = FaultFailure(
@@ -255,6 +260,7 @@ def run_campaign(
                                     run_workload(
                                         _w, _p,
                                         fault_plan=_s.with_(events=tuple(subset)),
+                                        fast=fast,
                                     )
                                 except CoherenceViolation:
                                     return True
@@ -289,7 +295,9 @@ def run_campaign(
             progress(f"... workload {w_index + 1}/{len(workloads)} done")
 
     if check_unrecoverable and workloads:
-        report.unrecoverable_ok = _check_unrecoverable(workloads[0][1], "stache")
+        report.unrecoverable_ok = _check_unrecoverable(
+            workloads[0][1], "stache", fast=fast
+        )
         report.runs += 1
 
     report.elapsed = time.perf_counter() - t0

@@ -18,6 +18,7 @@ from __future__ import annotations
 from typing import TYPE_CHECKING
 
 from repro.obs.events import EventKind
+from repro.fastpath.packed import NodeSet
 from repro.protocols.directory import (
     DISCARDED,
     Directory,
@@ -436,7 +437,7 @@ class BaseProtocol(ProtocolStateMachine):
                     entry = self.directory.entry(block)
                     entry.state = self.crash_rebuild_shared_state
                     entry.owner = None
-                    entry.sharers = set(ro_holders[block])
+                    entry.sharers = NodeSet(ro_holders[block])
                     entry.in_service = None
                     entry.acks_needed = 0
                     entry.pending.clear()

@@ -27,6 +27,7 @@ from collections import deque
 from dataclasses import dataclass, field
 from typing import Deque
 
+from repro.fastpath.packed import NodeSet
 from repro.util.errors import ProtocolError
 
 #: placeholder requester installed by crash recovery when the node being
@@ -63,7 +64,10 @@ class DirEntry:
     block: int
     home: int
     state: str = DirState.IDLE
-    sharers: set[int] = field(default_factory=set)
+    #: read-only copy holders as a packed bitmask set; iteration is always
+    #: in ascending node order, so every sharers walk (invalidation rounds,
+    #: crash repair, write-update pushes) is deterministic by construction
+    sharers: NodeSet = field(default_factory=NodeSet)
     owner: int | None = None
     #: requester being serviced while in a BUSY state
     in_service: int | None = None

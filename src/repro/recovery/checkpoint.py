@@ -127,7 +127,7 @@ def snapshot_machine(machine: "Machine") -> dict:
 
 def _snapshot_node(node) -> dict:
     return {
-        "tags": sorted([b, int(t)] for b, t in node.tags._tags.items()),
+        "tags": [[b, int(t)] for b, t in node.tags.items()],
         "handler_busy_until": node.handler_busy_until,
         "cycles": {c.value: node.stats.cycles[c] for c in TimeCategory},
         "counters": {name: getattr(node.stats, name)
@@ -256,12 +256,14 @@ def _snapshot_crash(machine: "Machine") -> dict | None:
 # -- restore -------------------------------------------------------------------
 
 
-def restore_machine(snap: dict) -> "Machine":
+def restore_machine(snap: dict, fast: bool = False) -> "Machine":
     """Build a fresh machine in exactly the snapshotted state.
 
     Replaying the remainder of the session on the returned machine is
     bit-identical to the uninterrupted run: every counter, clock, RNG state,
-    and structure iteration order is reproduced.
+    and structure iteration order is reproduced.  ``fast`` restores onto the
+    compiled fast path (checkpoints are representation-independent, so
+    either path can resume the other's snapshot).
     """
     if snap.get("version") != CHECKPOINT_VERSION:
         raise SimulationError(
@@ -273,7 +275,7 @@ def restore_machine(snap: dict) -> "Machine":
     from repro.util.config import MachineConfig
 
     config = MachineConfig(**snap["config"])
-    machine = make_machine(config, snap["protocol"])
+    machine = make_machine(config, snap["protocol"], fast=fast)
     restore_regions(machine, snap["regions"])
     if snap["plan"] is not None:
         from repro.faults.plan import FaultPlan
@@ -284,8 +286,11 @@ def restore_machine(snap: dict) -> "Machine":
     machine.clock = m["clock"]
     machine.phase_index = m["phase_index"]
     machine.current_directive = m["current_directive"]
-    machine.group_accessed = {tuple(p) for p in m["group_accessed"]}
-    machine.phase_writes = {tuple(p) for p in m["phase_writes"]}
+    # in-place: the fast path's processors cache these sets by identity
+    machine.group_accessed.clear()
+    machine.group_accessed.update(tuple(p) for p in m["group_accessed"])
+    machine.phase_writes.clear()
+    machine.phase_writes.update(tuple(p) for p in m["phase_writes"])
 
     e = snap["engine"]
     machine.engine.now = e["now"]
@@ -304,7 +309,7 @@ def restore_machine(snap: dict) -> "Machine":
     for node, rec in zip(machine.nodes, snap["nodes"]):
         node.tags.clear()
         for block, tag in rec["tags"]:
-            node.tags._tags[block] = _TAG_BY_VALUE[tag]
+            node.tags.set(block, _TAG_BY_VALUE[tag])
         node.handler_busy_until = rec["handler_busy_until"]
         for c in TimeCategory:
             node.stats.cycles[c] = rec["cycles"][c.value]
@@ -348,6 +353,7 @@ _init_tag_table()
 def _restore_directory(machine: "Machine", records: list[dict]) -> None:
     from collections import deque
 
+    from repro.fastpath.packed import NodeSet
     from repro.protocols.directory import DirEntry, PendingRequest
 
     directory = getattr(machine.protocol, "directory", None)
@@ -359,7 +365,7 @@ def _restore_directory(machine: "Machine", records: list[dict]) -> None:
             block=rec["block"],
             home=rec["home"],
             state=rec["state"],
-            sharers=set(rec["sharers"]),
+            sharers=NodeSet(rec["sharers"]),
             owner=rec["owner"],
             in_service=rec["in_service"],
             acks_needed=rec["acks_needed"],

@@ -74,6 +74,23 @@ class Engine:
 
     # -- execution -----------------------------------------------------------
 
+    def _prune_cancelled_front(self) -> None:
+        """Drop cancelled events from the head of the queue.
+
+        The cancel contract: :meth:`Event.cancel` only flags the event —
+        it stays queued until a queue operation walks past it.  Every
+        entry point that reads the queue head (:meth:`peek_time`,
+        :meth:`_next_event`) must prune flagged events first, or a
+        cancelled frontier would make ``peek_time`` report a stale time
+        that no live event will ever dispatch at.  (The calendar queue in
+        :mod:`repro.fastpath.calqueue` has the same obligation per slot:
+        an all-cancelled slot must be deleted, not just skipped —
+        regression-tested against both engines in ``tests/fastpath``.)
+        """
+        q = self._queue
+        while q and q[0].cancelled:
+            heapq.heappop(q)
+
     def _next_event(self) -> Event | None:
         """Select and remove the next event to dispatch.
 
@@ -81,8 +98,7 @@ class Engine:
         order is ``(time, seq)``).  :class:`repro.verify.interleave.ExplorerEngine`
         overrides this hook to explore alternative legal tie-break orders.
         """
-        while self._queue and self._queue[0].cancelled:
-            heapq.heappop(self._queue)
+        self._prune_cancelled_front()
         if not self._queue:
             return None
         return heapq.heappop(self._queue)
@@ -145,6 +161,5 @@ class Engine:
 
     def peek_time(self) -> float | None:
         """Timestamp of the next live event, or None if the queue is empty."""
-        while self._queue and self._queue[0].cancelled:
-            heapq.heappop(self._queue)
+        self._prune_cancelled_front()
         return self._queue[0].time if self._queue else None

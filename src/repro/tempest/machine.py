@@ -272,6 +272,9 @@ class Machine:
         #: observability sink (repro.obs); the default null tracer makes
         #: every instrumented site a single ``if obs.enabled`` check
         self.obs: Tracer = NULL_TRACER
+        #: compiled-simulation pipeline (repro.fastpath); None on the
+        #: reference path — see :meth:`use_fastpath`
+        self._fastpath = None
         self.protocol: CoherenceProtocolAPI = protocol_factory(self)
         self.network.attach(self._deliver)
 
@@ -362,6 +365,32 @@ class Machine:
             self.crash_controller = CrashController(self, injector, plan)
             self.watchdog = Watchdog(self, plan.detect_cycles)
             self.network.incarnation_of = self.crash_controller.incarnation
+
+    def use_fastpath(self) -> None:
+        """Switch this machine to the compiled fast path (repro.fastpath).
+
+        Replays then run through the calendar-queue engine's batched
+        dispatch, packed tag tables, and the analyze/specialize/schedule
+        pass pipeline — with bit-identical observable behaviour (enforced
+        by the differential suite in ``tests/fastpath``).  Requires the
+        engine to be a :class:`~repro.fastpath.calqueue.FastEngine`;
+        normally reached via ``make_machine(..., fast=True)``.
+        """
+        # Imported lazily; repro.fastpath subclasses this module's types.
+        from repro.fastpath.calqueue import FastEngine
+        from repro.fastpath.packed import PackedTagTable
+        from repro.fastpath.passes import FastPathPipeline
+
+        if not isinstance(self.engine, FastEngine):
+            raise SimulationError(
+                "the fast path requires the machine to run on a FastEngine"
+            )
+        for node in self.nodes:
+            packed = PackedTagTable(node.id)
+            for block, tag in node.tags.items():
+                packed.set(block, tag)
+            node.tags = packed
+        self._fastpath = FastPathPipeline(self)
 
     def attach_tracer(self, tracer: Tracer) -> None:
         """Route this machine's (and its network's and engine's) events to
@@ -458,15 +487,23 @@ class Machine:
         obs = self.obs
         if obs.enabled:
             obs.begin_phase(trace.name, self.current_directive, start)
-        procs = [
-            ReplayProcessor(self, self.nodes[i], trace.ops[i], start)
-            for i in range(self.config.n_nodes)
-        ]
+        if self._fastpath is not None:
+            prog = self._fastpath.compile(trace, start)
+            procs = prog.procs
+        else:
+            prog = None
+            procs = [
+                ReplayProcessor(self, self.nodes[i], trace.ops[i], start)
+                for i in range(self.config.n_nodes)
+            ]
         self._procs = procs
         if self.crash_controller is not None:
             self.crash_controller.arm_phase(procs, phase_index)
-        for p in procs:
-            p.start()
+        if prog is not None:
+            self._fastpath.launch(prog)
+        else:
+            for p in procs:
+                p.start()
         self.engine.run()
         if len(self._barrier_arrivals) != self.config.n_nodes:
             missing = [p.node.id for p in procs if not p.done]

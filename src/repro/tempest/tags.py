@@ -61,7 +61,25 @@ class TagTable:
         self._tags.pop(block, None)
 
     def blocks_with_tag(self, tag: AccessTag) -> list[int]:
-        return [b for b, t in self._tags.items() if t is tag]
+        """Blocks holding ``tag``, in ascending block order.
+
+        Sorted (not insertion) order so consumers that *walk* the result —
+        crash recovery rebuilding home state, the invariant monitor — are
+        deterministic and representation-independent (the packed fast-path
+        table is naturally block-ordered).
+        """
+        return sorted(b for b, t in self._tags.items() if t is tag)
+
+    def items(self):
+        """Yield ``(block, tag)`` for non-INVALID blocks, ascending.
+
+        The public form of the underlying map: checkpointing and the fast
+        path's table swap use it instead of reaching into ``_tags``.
+        """
+        return iter(sorted(self._tags.items()))
+
+    def reserve(self, n_blocks: int) -> None:
+        """Capacity hint; the dict-backed table has nothing to presize."""
 
     def __len__(self) -> int:
         return len(self._tags)

@@ -122,8 +122,7 @@ class ExplorerEngine(Engine):
         self.default_max_events = default_max_events
 
     def _next_event(self) -> Event | None:
-        while self._queue and self._queue[0].cancelled:
-            heapq.heappop(self._queue)
+        self._prune_cancelled_front()
         if not self._queue:
             return None
         t = self._queue[0].time

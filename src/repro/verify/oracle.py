@@ -57,6 +57,7 @@ def run_workload(
     max_events: int | None = 2_000_000,
     fault_plan=None,
     tracer=None,
+    fast: bool = False,
 ) -> Observables:
     """Replay ``workload`` under ``protocol`` with policy-driven tie-breaks.
 
@@ -64,14 +65,26 @@ def run_workload(
     the machine (see :meth:`Machine.install_fault_plan`); an inactive plan
     changes nothing.  ``tracer`` optionally attaches a
     :class:`repro.obs.events.Tracer` (``machine.attach_tracer``) so fault
-    campaigns can export event timelines.  Raises
+    campaigns can export event timelines.  ``fast=True`` runs the compiled
+    fast path (:mod:`repro.fastpath`) — only honoured under FIFO
+    tie-breaking, since its calendar queue dispatches in exactly the
+    reference FIFO order; exploratory or replay policies fall back to the
+    reference :class:`ExplorerEngine`.  Raises
     :class:`CoherenceViolation` on any invariant failure, protocol error,
     transport timeout, or deadlock, with the seed, schedule, and injected
     fault events attached for replay.
     """
+    use_fast = fast and (policy is None or type(policy) is FifoPolicy)
     policy = policy if policy is not None else FifoPolicy()
-    engine = ExplorerEngine(policy, default_max_events=max_events)
-    machine = make_machine(workload.config, protocol, engine=engine)
+    if use_fast:
+        from repro.fastpath.calqueue import FastEngine
+
+        engine = FastEngine(default_max_events=max_events)
+        machine = make_machine(workload.config, protocol, engine=engine,
+                               fast=True)
+    else:
+        engine = ExplorerEngine(policy, default_max_events=max_events)
+        machine = make_machine(workload.config, protocol, engine=engine)
     if fault_plan is not None:
         machine.install_fault_plan(fault_plan)
     if tracer is not None:

@@ -1,0 +1,123 @@
+"""Bench-snapshot tooling: schema round-trips and the regression gate.
+
+The committed ``benchmarks/BENCH_*.json`` snapshots are what CI gates on,
+so the tooling itself is pinned: snapshot documents must round-trip
+through JSON and through :class:`~repro.obs.metrics.MetricsRegistry`, the
+measurement harness must reject a diverging fast path, and the comparator
+must flag real slowdowns while tolerating sub-threshold noise.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.bench import perf
+from repro.obs.metrics import MetricsRegistry
+
+REPO_ROOT = Path(__file__).resolve().parents[2]
+
+#: a tiny lock-step case keeps measurement tests fast (~thousands of events)
+TINY = perf.BenchCase("tiny/lockstep", perf.MICROBENCH, "predictive", True,
+                      32, dict(ops=400), "quick")
+
+
+@pytest.fixture(scope="module")
+def tiny_pairs():
+    return perf.measure([TINY], repeats=1)
+
+
+def test_measure_enforces_equality(tiny_pairs):
+    (ref, fst), = tiny_pairs
+    assert ref.wall_cycles == fst.wall_cycles
+    assert ref.events == fst.events
+    assert ref.events > 0
+
+
+def test_snapshot_round_trips_through_json_and_metrics(tiny_pairs):
+    for mode in ("baseline", "fastpath"):
+        doc = perf.snapshot(tiny_pairs, mode, repeats=1)
+        wire = json.loads(json.dumps(doc))  # JSON-safe end to end
+        loaded = perf.load_snapshot(wire)
+        assert loaded["schema"] == perf.BENCH_SCHEMA
+        assert loaded["mode"] == mode
+        (row,) = loaded["workloads"]
+        assert row["label"] == TINY.label
+        assert row["events"] > 0
+        # the embedded registry round-trips through repro.obs.metrics
+        reg = MetricsRegistry.from_dict(wire["metrics"])
+        assert reg.to_dict() == wire["metrics"]
+    fast_doc = perf.snapshot(tiny_pairs, "fastpath", repeats=1)
+    assert fast_doc["workloads"][0]["speedup_sim"] > 0
+
+
+def test_snapshot_rejects_bad_inputs(tiny_pairs):
+    with pytest.raises(ValueError):
+        perf.snapshot(tiny_pairs, "sideways", repeats=1)
+    with pytest.raises(ValueError):
+        perf.load_snapshot({"schema": "repro.bench/v0", "metrics": {}})
+
+
+def _doc(speedups: dict[str, float]) -> dict:
+    return {
+        "schema": perf.BENCH_SCHEMA,
+        "mode": "fastpath",
+        "repeats": 1,
+        "workloads": [
+            {"label": label, "speedup_sim": s} for label, s in speedups.items()
+        ],
+        "metrics": MetricsRegistry().to_dict(),
+    }
+
+
+def test_gate_flags_synthetic_slowdown():
+    committed = _doc({"water": 3.0, "adaptive": 2.0})
+    measured = _doc({"water": 2.4, "adaptive": 1.9})  # water -20%
+    problems = perf.compare_snapshots(committed, measured, tolerance=0.15)
+    assert len(problems) == 1
+    assert "water" in problems[0] and "3.00x -> 2.40x" in problems[0]
+
+
+def test_gate_tolerates_noise_below_threshold():
+    committed = _doc({"water": 3.0, "adaptive": 2.0})
+    measured = _doc({"water": 2.7, "adaptive": 1.8})  # both -10%
+    assert perf.compare_snapshots(committed, measured, tolerance=0.15) == []
+    # ... but a tighter tolerance flags them
+    assert len(perf.compare_snapshots(committed, measured, tolerance=0.05)) == 2
+
+
+def test_gate_ignores_unknown_and_missing_workloads():
+    committed = _doc({"water": 3.0})
+    measured = _doc({"barnes": 1.0})  # new case: no baseline to gate on
+    assert perf.compare_snapshots(committed, measured) == []
+
+
+def test_committed_snapshots_are_valid_and_gateable():
+    """The repo's own BENCH files validate, and the quick-profile labels CI
+    measures are present in the committed fastpath snapshot (otherwise the
+    perf gate would silently compare nothing)."""
+    bench_dir = REPO_ROOT / "benchmarks"
+    baseline = perf.load_snapshot(
+        json.loads((bench_dir / "BENCH_baseline.json").read_text()))
+    fastpath = perf.load_snapshot(
+        json.loads((bench_dir / "BENCH_fastpath.json").read_text()))
+    assert baseline["mode"] == "baseline"
+    assert fastpath["mode"] == "fastpath"
+    committed = {w["label"]: w for w in fastpath["workloads"]}
+    for case in perf.table1_cases("quick"):
+        assert case.label in committed
+        assert committed[case.label]["speedup_sim"] > 1.0
+    # fastpath and baseline rows agree on the simulated results
+    base_rows = {w["label"]: w for w in baseline["workloads"]}
+    for label, row in committed.items():
+        assert base_rows[label]["wall_cycles"] == row["wall_cycles"]
+        assert base_rows[label]["events"] == row["events"]
+
+
+def test_table1_cases_cover_the_paper_matrix():
+    labels = {c.label for c in perf.table1_cases("full")}
+    for app in ("adaptive", "barnes", "water"):
+        assert any(label.startswith(app) for label in labels)
+    assert perf.MICROBENCH in labels

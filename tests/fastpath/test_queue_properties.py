@@ -1,0 +1,132 @@
+"""The calendar queue must dispatch in exactly the reference heap order.
+
+Hypothesis generates scripted event programs — nested schedules, same-time
+ties, cancellations (including of not-yet-dispatched same-slot events),
+``until`` cutoffs, and ``max_events`` limits — and runs each program
+through the reference :class:`~repro.sim.engine.Engine` and the fast
+:class:`~repro.fastpath.calqueue.FastEngine`.  The observed dispatch
+sequence ``(event id, now)``, final clock, dispatch counters, pending
+counts, and raised errors must all be identical.
+"""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.fastpath.calqueue import FastEngine
+from repro.sim.engine import Engine
+from repro.util.errors import SimulationError
+
+#: a small time grid maximizes same-timestamp collisions (tie-break stress)
+TIMES = st.sampled_from([0.0, 1.0, 1.0, 2.0, 2.5, 3.0])
+DELAYS = st.sampled_from([0.0, 0.0, 0.5, 1.0, 2.0])
+
+
+@st.composite
+def programs(draw):
+    """A program is a list of root events; each event may, when it fires,
+    schedule children (relative delays) and cancel earlier events by id."""
+    n_roots = draw(st.integers(min_value=1, max_value=6))
+    events = []
+    eid = 0
+    for _ in range(n_roots):
+        events.append({
+            "time": draw(TIMES),
+            "children": draw(st.lists(DELAYS, max_size=3)),
+            "cancels": draw(st.lists(
+                st.integers(min_value=0, max_value=14), max_size=2)),
+        })
+        eid += 1
+    return events
+
+
+class Script:
+    """Executes one program against an engine, recording what happens."""
+
+    def __init__(self, engine, program):
+        self.engine = engine
+        self.program = program
+        self.log = []
+        self.handles = {}
+        self.next_id = len(program)
+
+    def start(self):
+        for i, spec in enumerate(self.program):
+            self.handles[i] = self.engine.schedule(
+                spec["time"], self._fire(i, spec))
+
+    def _fire(self, eid, spec):
+        def fn():
+            self.log.append((eid, self.engine.now))
+            for target in spec["cancels"]:
+                ev = self.handles.get(target)
+                if ev is not None:
+                    ev.cancel()
+            for delay in spec["children"]:
+                cid = self.next_id
+                self.next_id += 1
+                child = {"children": [], "cancels": []}
+                self.handles[cid] = self.engine.schedule_after(
+                    delay, self._fire(cid, child))
+        return fn
+
+
+def _execute(engine_cls, program, until=None, max_events=None):
+    engine = engine_cls()
+    script = Script(engine, program)
+    script.start()
+    error = None
+    try:
+        engine.run(until=until, max_events=max_events)
+    except SimulationError as exc:
+        error = str(exc)
+    return {
+        "log": script.log,
+        "now": engine.now,
+        "dispatched": engine.total_dispatched,
+        "pending": engine.pending,
+        "peek": engine.peek_time(),
+        "error": error,
+    }
+
+
+@settings(max_examples=120, deadline=None)
+@given(program=programs())
+def test_dispatch_order_matches_reference(program):
+    assert _execute(FastEngine, program) == _execute(Engine, program)
+
+
+@settings(max_examples=80, deadline=None)
+@given(program=programs(), until=st.sampled_from([0.0, 1.0, 2.0, 2.5, 10.0]))
+def test_until_cutoff_matches_reference(program, until):
+    assert (_execute(FastEngine, program, until=until)
+            == _execute(Engine, program, until=until))
+
+
+@settings(max_examples=80, deadline=None)
+@given(program=programs(), limit=st.integers(min_value=1, max_value=6))
+def test_max_events_cutoff_matches_reference(program, limit):
+    ref = _execute(Engine, program, max_events=limit)
+    fast = _execute(FastEngine, program, max_events=limit)
+    assert fast == ref
+    if ref["error"] is not None:
+        assert f"max_events={limit}" in ref["error"]
+
+
+@pytest.mark.parametrize("engine_cls", [Engine, FastEngine])
+def test_schedule_into_past_raises(engine_cls):
+    engine = engine_cls()
+    engine.schedule(5.0, lambda: None)
+    engine.run()
+    with pytest.raises(SimulationError):
+        engine.schedule(1.0, lambda: None)
+
+
+def test_fastengine_counts_like_reference_on_empty_run():
+    for engine_cls in (Engine, FastEngine):
+        engine = engine_cls()
+        assert engine.run() == 0
+        assert engine.run(until=7.0) == 0
+        assert engine.now == 7.0  # idle clock advances to the cutoff
