@@ -57,6 +57,74 @@ class VersionResult:
         )
 
 
+def spec_to_params(spec: VersionSpec, fast: bool | None = None) -> dict:
+    """A transport-safe (JSON) form of one spec for ``repro.farm`` params.
+
+    App modules do not cross process boundaries, so the spec travels with
+    the module's dotted name and :func:`spec_from_params` re-imports it.
+    """
+    from dataclasses import asdict
+
+    return {
+        "label": spec.label,
+        "app": spec.app.__name__,
+        "protocol": spec.protocol,
+        "optimized": spec.optimized,
+        "config": asdict(spec.config),
+        "build_kwargs": dict(spec.build_kwargs),
+        "variant": spec.variant,
+        "fast": spec.fast if fast is None else fast,
+    }
+
+
+def spec_from_params(params: dict) -> VersionSpec:
+    import importlib
+
+    return VersionSpec(
+        label=params["label"],
+        app=importlib.import_module(params["app"]),
+        protocol=params["protocol"],
+        optimized=params["optimized"],
+        config=MachineConfig(**params["config"]),
+        build_kwargs=dict(params["build_kwargs"]),
+        variant=params["variant"],
+        fast=params["fast"],
+    )
+
+
+def version_job(params: dict) -> dict:
+    """Farm job body: run one version; ship its stats back as plain JSON."""
+    result = run_version(spec_from_params(params))
+    return {"stats": result.stats.to_dict()}
+
+
+def run_specs(specs, jobs: int = 1, fast: bool | None = None,
+              tracer=None, progress=None) -> list[VersionResult]:
+    """Run a list of specs, optionally sharded across a farm worker pool.
+
+    Results come back in spec order regardless of scheduling, and each
+    version's simulation is seeded entirely by its spec, so the list is
+    identical to the sequential one (``RunStats`` round-trips losslessly
+    through :meth:`~repro.sim.stats.RunStats.to_dict`).
+    """
+    specs = list(specs)
+    if jobs > 1 and len(specs) > 1:
+        from repro.farm import FarmJob, run_farm
+
+        farm = run_farm(
+            [FarmJob(index=i, kind="bench-version",
+                     params=spec_to_params(spec, fast=fast))
+             for i, spec in enumerate(specs)],
+            n_workers=jobs, tracer=tracer, progress=progress,
+        )
+        return [
+            VersionResult(spec=spec,
+                          stats=RunStats.from_dict(farm.results[i]["stats"]))
+            for i, spec in enumerate(specs)
+        ]
+    return [run_version(spec, fast=fast) for spec in specs]
+
+
 def run_version(spec: VersionSpec, tracer=None, fast: bool | None = None) -> VersionResult:
     """Build the program, run it on a fresh machine, and collect stats.
 

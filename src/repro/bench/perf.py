@@ -300,6 +300,238 @@ def compare_snapshots(committed: dict, measured: dict,
     return problems
 
 
+# -- campaign farm sharding ---------------------------------------------------
+#
+# One farm job = one case timed on both paths, so the bit-identity check
+# stays local to the worker and the payload is plain JSON.  Host timings
+# are machine-load-dependent and therefore NOT part of the determinism
+# contract; the simulated results (wall_cycles, events, metrics) are, and
+# the farm differential tests compare exactly those.
+
+
+def case_to_spec(case: BenchCase, repeats: int = 1) -> dict:
+    """A transport-safe (JSON) form of one case for ``repro.farm`` params."""
+    return {
+        "label": case.label, "app": case.app, "protocol": case.protocol,
+        "optimized": case.optimized, "block_size": case.block_size,
+        "build_kwargs": dict(case.build_kwargs), "profile": case.profile,
+        "repeats": repeats,
+    }
+
+
+def spec_to_case(spec: dict) -> BenchCase:
+    return BenchCase(spec["label"], spec["app"], spec["protocol"],
+                     spec["optimized"], spec["block_size"],
+                     dict(spec["build_kwargs"]), spec["profile"])
+
+
+def _path_payload(result: CaseResult, mode: str) -> dict:
+    case = result.case
+    return {
+        "sim_seconds": result.sim_seconds,
+        "total_seconds": result.total_seconds,
+        "wall_cycles": result.wall_cycles,
+        "events": result.events,
+        "metrics": registry_from_run(
+            result.stats, bench=case.label, path=mode,
+            protocol=case.protocol, block_size=case.block_size,
+        ).to_dict(),
+    }
+
+
+def bench_case_job(spec: dict) -> dict:
+    """Farm job body: time one case on both paths; returns a JSON payload.
+
+    The fast path's bit-identity check runs inside the job, so a diverging
+    worker fails its job (and the whole farm) immediately.
+    """
+    case = spec_to_case(spec)
+    repeats = int(spec.get("repeats", 1))
+    ref = run_case(case, fast=False, repeats=repeats)
+    fst = run_case(case, fast=True, repeats=repeats)
+    if ref.wall_cycles != fst.wall_cycles or ref.events != fst.events:
+        raise SimulationError(
+            f"fast path diverged on {case.label!r}: "
+            f"wall {ref.wall_cycles} vs {fst.wall_cycles}, "
+            f"events {ref.events} vs {fst.events}"
+        )
+    return {
+        "case": case_to_spec(case),
+        "ref": _path_payload(ref, "baseline"),
+        "fast": _path_payload(fst, "fastpath"),
+    }
+
+
+def measure_payloads(cases, repeats: int = 3, jobs: int = 1,
+                     tracer=None, progress=None) -> list[dict]:
+    """:func:`measure` in payload form, optionally sharded across a farm.
+
+    ``jobs=1`` runs :func:`bench_case_job` in-process per case (the same
+    computation the farm workers do), so the parallel path differs only in
+    where the work ran.
+    """
+    specs = [case_to_spec(case, repeats) for case in cases]
+    if jobs > 1 and len(specs) > 1:
+        from repro.farm import FarmJob, run_farm
+
+        farm = run_farm(
+            [FarmJob(index=i, kind="bench-case", params=spec)
+             for i, spec in enumerate(specs)],
+            n_workers=jobs, tracer=tracer, progress=progress,
+        )
+        return [farm.results[i] for i in range(len(specs))]
+    return [bench_case_job(spec) for spec in specs]
+
+
+def snapshot_from_payloads(payloads, mode: str, repeats: int) -> dict:
+    """:func:`snapshot` over farm payloads (same document structure)."""
+    if mode not in ("baseline", "fastpath"):
+        raise ValueError(f"unknown snapshot mode {mode!r}")
+    fast = mode == "fastpath"
+    rows = []
+    registries = []
+    for payload in payloads:
+        own = payload["fast"] if fast else payload["ref"]
+        row = dict(payload["case"])
+        row.pop("repeats", None)
+        row.update(
+            sim_seconds=own["sim_seconds"], total_seconds=own["total_seconds"],
+            wall_cycles=own["wall_cycles"], events=own["events"],
+        )
+        if fast:
+            other = payload["ref"]
+            row["speedup_sim"] = other["sim_seconds"] / own["sim_seconds"]
+            row["speedup_total"] = (other["total_seconds"]
+                                    / own["total_seconds"])
+        rows.append(row)
+        registries.append(MetricsRegistry.from_dict(own["metrics"]))
+    return {
+        "schema": BENCH_SCHEMA,
+        "mode": mode,
+        "repeats": repeats,
+        "workloads": rows,
+        "metrics": MetricsRegistry.merge_all(registries).to_dict(),
+    }
+
+
+def render_payloads(payloads) -> str:
+    from repro.util.tables import format_table
+
+    rows = []
+    for payload in payloads:
+        ref, fst = payload["ref"], payload["fast"]
+        rows.append([
+            payload["case"]["label"],
+            payload["case"]["profile"],
+            ref["sim_seconds"],
+            fst["sim_seconds"],
+            ref["sim_seconds"] / fst["sim_seconds"],
+            ref["total_seconds"] / fst["total_seconds"],
+            float(ref["events"]),
+        ])
+    return format_table(
+        ["workload", "profile", "ref sim s", "fast sim s",
+         "sim speedup", "total speedup", "events"],
+        rows,
+        floatfmt=".3g",
+        title="fast path vs reference (best-of-N wall clock)",
+    )
+
+
+def _bench_sim_doc(payloads) -> list[dict]:
+    """The deterministic (simulated-only) projection of bench payloads."""
+    return [
+        {
+            "label": p["case"]["label"],
+            "wall_cycles": p["ref"]["wall_cycles"],
+            "events": p["ref"]["events"],
+            "ref_metrics": p["ref"]["metrics"],
+            "fast_metrics": p["fast"]["metrics"],
+        }
+        for p in payloads
+    ]
+
+
+def farm_scaling(jobs_curve=(1, 2, 4, 8), *, fuzz_seeds: int = 300,
+                 fault_seeds: int = 3, progress=None) -> dict:
+    """Measure the farm's wall-clock scaling curve; returns a snapshot doc.
+
+    Runs the verify fuzz sweep, the fault campaign, and the quick bench
+    matrix at every worker count in ``jobs_curve``, asserting each parallel
+    report is byte-identical to its sequential (``jobs=1``) report before
+    recording the timing.  The document uses the :data:`BENCH_SCHEMA`
+    snapshot format with ``mode: "farm"`` — rows are labelled
+    ``<sweep>/jobs=N`` with ``speedup_sim`` relative to the sweep's own
+    sequential run, so :func:`compare_snapshots` gates on it unchanged.
+    ``host_cpus`` records how much hardware parallelism the measuring host
+    actually had (a 1-core host can only show ~1.0x).
+    """
+    import json
+    import os
+
+    from repro.faults.campaign import run_campaign
+    from repro.verify.fuzz import fuzz
+
+    # sweep sizes are chosen so each sequential run takes seconds, not
+    # milliseconds — otherwise worker startup dominates and the curve
+    # measures process-spawn cost instead of campaign throughput
+    tiny = [
+        BenchCase(f"tiny{i}/lockstep", MICROBENCH, "predictive", True, 32,
+                  dict(ops=8_000), "quick")
+        for i in range(8)
+    ]
+    sweeps = [
+        ("verify-fuzz",
+         lambda jobs: fuzz(seeds=fuzz_seeds, jobs=jobs),
+         lambda report: report.to_dict()),
+        ("faults-sweep",
+         lambda jobs: run_campaign(seeds=fault_seeds, variants=1,
+                                   traces_dir=None, shrink=False, jobs=jobs),
+         lambda report: report.to_dict()),
+        ("bench-cases",
+         lambda jobs: measure_payloads(tiny, repeats=1, jobs=jobs),
+         _bench_sim_doc),
+    ]
+    rows = []
+    registries = []
+    for name, run, canon in sweeps:
+        base_doc = None
+        base_elapsed = None
+        for jobs in jobs_curve:
+            if progress:
+                progress(f"[farm-scaling] {name} at jobs={jobs} ...")
+            t0 = time.perf_counter()
+            result = run(jobs)
+            elapsed = time.perf_counter() - t0
+            doc = json.dumps(canon(result), sort_keys=True)
+            if base_doc is None:
+                base_doc, base_elapsed = doc, elapsed
+                if hasattr(result, "metrics"):
+                    registries.append(result.metrics)
+            elif doc != base_doc:
+                raise SimulationError(
+                    f"farm run of {name!r} at jobs={jobs} diverged from "
+                    f"its sequential report"
+                )
+            rows.append({
+                "label": f"{name}/jobs={jobs}",
+                "profile": "farm",
+                "workers": jobs,
+                "sim_seconds": elapsed,
+                "total_seconds": elapsed,
+                "speedup_sim": base_elapsed / elapsed,
+                "equal_to_sequential": True,
+            })
+    return {
+        "schema": BENCH_SCHEMA,
+        "mode": "farm",
+        "repeats": 1,
+        "host_cpus": os.cpu_count(),
+        "workloads": rows,
+        "metrics": MetricsRegistry.merge_all(registries).to_dict(),
+    }
+
+
 def render_pairs(pairs) -> str:
     from repro.util.tables import format_table
 

@@ -108,6 +108,24 @@ def _write_json(path: str, doc: dict) -> None:
     out.write_text(json.dumps(doc, indent=2, sort_keys=True) + "\n")
 
 
+def _farm_tracer(args):
+    """An EventTrace for farm lifecycle events when ``--farm-events`` asks."""
+    if getattr(args, "farm_events", None):
+        from repro.obs import EventTrace
+
+        return EventTrace()
+    return None
+
+
+def _write_farm_events(args, tracer) -> None:
+    if tracer is None:
+        return
+    from repro.obs import write_jsonl
+
+    n = write_jsonl(args.farm_events, tracer.events)
+    print(f"farm events: {n} event(s) -> {args.farm_events}")
+
+
 def _export_trace(path: str, tracer, n_nodes: int) -> list[str]:
     """Write a Chrome trace and validate it; returns the problem list."""
     from repro.obs import validate_chrome_trace, write_chrome_trace
@@ -207,7 +225,7 @@ def _cmd_figure(args: argparse.Namespace) -> int:
         "fig5": figures.fig5_adaptive,
         "fig6": figures.fig6_barnes,
         "fig7": figures.fig7_water,
-    }[args.name](fast=args.fast)
+    }[args.name](fast=args.fast, jobs=args.jobs)
     print(fig.render())
     return 0
 
@@ -236,15 +254,15 @@ def _cmd_reproduce(args: argparse.Namespace) -> int:
     t0 = time.time()
     sections.append(("Table 1", figures.table1()))
 
-    fig5 = figures.fig5_adaptive(fast=args.fast)
+    fig5 = figures.fig5_adaptive(fast=args.fast, jobs=args.jobs)
     figures.check_fig5(fig5)
     sections.append(("Figure 5", fig5.render()))
 
-    fig6 = figures.fig6_barnes(fast=args.fast)
+    fig6 = figures.fig6_barnes(fast=args.fast, jobs=args.jobs)
     figures.check_fig6(fig6)
     sections.append(("Figure 6", fig6.render()))
 
-    fig7 = figures.fig7_water(fast=args.fast)
+    fig7 = figures.fig7_water(fast=args.fast, jobs=args.jobs)
     figures.check_fig7(fig7)
     sections.append(("Figure 7", fig7.render()))
 
@@ -312,44 +330,92 @@ def _cmd_reproduce(args: argparse.Namespace) -> int:
     return 0
 
 
+def _check_snapshot(args, committed_path, measured) -> int:
+    """Gate a measured snapshot doc against a committed one; 0 = pass."""
+    import json
+
+    from repro.bench import perf
+
+    if not committed_path.is_file():
+        print(f"error: no committed snapshot at {committed_path}",
+              file=sys.stderr)
+        return 2
+    problems = perf.compare_snapshots(
+        perf.load_snapshot(json.loads(committed_path.read_text())),
+        measured, tolerance=args.tolerance,
+    )
+    if problems:
+        print(f"\nPERF GATE: {len(problems)} regression(s) "
+              f"vs {committed_path}:")
+        for p in problems:
+            print(f"  {p}")
+        return 1
+    print(f"\nperf gate passed (tolerance {args.tolerance:.0%}, "
+          f"vs {committed_path})")
+    return 0
+
+
+def _cmd_bench_farm(args: argparse.Namespace) -> int:
+    """Measure the farm scaling curve; write/check BENCH_farm.json."""
+    import pathlib
+
+    from repro.bench import perf
+    from repro.util.tables import format_table
+
+    curve = tuple(int(x) for x in args.jobs_curve.split(","))
+    doc = perf.farm_scaling(curve, progress=print)
+    rows = [[w["label"], float(w["workers"]), w["sim_seconds"],
+             w["speedup_sim"]] for w in doc["workloads"]]
+    print(format_table(
+        ["sweep", "workers", "seconds", "speedup"], rows, floatfmt=".3g",
+        title=f"farm scaling (byte-identical reports; "
+              f"host has {doc['host_cpus']} cpu(s))",
+    ))
+    path = pathlib.Path(args.dir) / "BENCH_farm.json"
+    if args.write:
+        _write_json(str(path), doc)
+        print(f"farm snapshot written to {path}")
+    if args.check:
+        return _check_snapshot(args, path, doc)
+    return 0
+
+
 def _cmd_bench(args: argparse.Namespace) -> int:
     """Time the fast path against the reference path; write/check snapshots."""
-    import json
     import pathlib
 
     from repro.bench import perf
 
+    if args.farm:
+        return _cmd_bench_farm(args)
+
     profile = "quick" if args.quick else None
     cases = perf.table1_cases(profile)
-    pairs = perf.measure(cases, repeats=args.repeats)
-    print(perf.render_pairs(pairs))
+    if args.jobs > 1:
+        payloads = perf.measure_payloads(cases, repeats=args.repeats,
+                                         jobs=args.jobs, progress=print)
+        print(perf.render_payloads(payloads))
+
+        def snapshot(mode):
+            return perf.snapshot_from_payloads(payloads, mode,
+                                               repeats=args.repeats)
+    else:
+        pairs = perf.measure(cases, repeats=args.repeats)
+        print(perf.render_pairs(pairs))
+
+        def snapshot(mode):
+            return perf.snapshot(pairs, mode, repeats=args.repeats)
 
     if args.write:
         out_dir = pathlib.Path(args.dir)
         for mode, name in (("baseline", "BENCH_baseline.json"),
                            ("fastpath", "BENCH_fastpath.json")):
-            doc = perf.snapshot(pairs, mode, repeats=args.repeats)
-            _write_json(str(out_dir / name), doc)
+            _write_json(str(out_dir / name), snapshot(mode))
             print(f"{mode} snapshot written to {out_dir / name}")
 
     if args.check:
         committed = pathlib.Path(args.dir) / "BENCH_fastpath.json"
-        if not committed.is_file():
-            print(f"error: no committed snapshot at {committed}",
-                  file=sys.stderr)
-            return 2
-        measured = perf.snapshot(pairs, "fastpath", repeats=args.repeats)
-        problems = perf.compare_snapshots(
-            perf.load_snapshot(json.loads(committed.read_text())),
-            measured, tolerance=args.tolerance,
-        )
-        if problems:
-            print(f"\nPERF GATE: {len(problems)} regression(s) vs {committed}:")
-            for p in problems:
-                print(f"  {p}")
-            return 1
-        print(f"\nperf gate passed (tolerance {args.tolerance:.0%}, "
-              f"vs {committed})")
+        return _check_snapshot(args, committed, snapshot("fastpath"))
     return 0
 
 
@@ -415,10 +481,16 @@ def _cmd_verify(args: argparse.Namespace) -> int:
         print(report.summary())
         failed = not report.ok
     else:
+        tracer = _farm_tracer(args)
         report = fuzz(seeds=args.seeds, protocols=protocols,
-                      shrink=not args.no_shrink, progress=print)
+                      shrink=not args.no_shrink, progress=print,
+                      jobs=args.jobs, tracer=tracer)
         print(report.summary())
         failed = not report.ok
+        if args.report_out:
+            _write_json(args.report_out, report.to_dict())
+            print(f"report written to {args.report_out}")
+        _write_farm_events(args, tracer)
 
     if args.dfs:
         print()
@@ -480,6 +552,7 @@ def _cmd_faults(args: argparse.Namespace) -> int:
                   f"available: {list(ALL_PROTOCOLS)}", file=sys.stderr)
             return 2
 
+    tracer = _farm_tracer(args)
     report = run_campaign(
         plans=plans,
         seeds=args.seeds,
@@ -490,8 +563,14 @@ def _cmd_faults(args: argparse.Namespace) -> int:
         progress=print,
         dump_scripts=args.dump_scripts,
         fast=args.fast,
+        jobs=args.jobs,
+        tracer=tracer,
     )
     print(report.summary())
+    if args.report_out:
+        _write_json(args.report_out, report.to_dict())
+        print(f"report written to {args.report_out}")
+    _write_farm_events(args, tracer)
 
     if args.trace or args.metrics_out:
         # One representative traced run: the first selected plan against the
@@ -589,6 +668,9 @@ def build_parser() -> argparse.ArgumentParser:
 
     p = sub.add_parser("figure", help="regenerate a paper table/figure")
     p.add_argument("name", choices=["table1", "fig5", "fig6", "fig7"])
+    p.add_argument("--jobs", type=int, default=1, metavar="N",
+                   help="shard the work across N farm worker processes "
+                        "(repro.farm; reports are byte-identical to --jobs 1)")
     p.add_argument("--fast", action="store_true",
                    help="run on the compiled fast path (bit-identical)")
     p.set_defaults(fn=_cmd_figure)
@@ -615,6 +697,9 @@ def build_parser() -> argparse.ArgumentParser:
                    help="run the figure matrix on the compiled fast path "
                         "(bit-identical; ablations and sweeps stay on the "
                         "reference path)")
+    p.add_argument("--jobs", type=int, default=1, metavar="N",
+                   help="shard the work across N farm worker processes "
+                        "(repro.farm; reports are byte-identical to --jobs 1)")
     p.set_defaults(fn=_cmd_reproduce)
 
     p = sub.add_parser(
@@ -638,6 +723,17 @@ def build_parser() -> argparse.ArgumentParser:
                         "(default 0.15)")
     p.add_argument("--dir", default="benchmarks",
                    help="snapshot directory (default: benchmarks)")
+    p.add_argument("--jobs", type=int, default=1, metavar="N",
+                   help="shard the work across N farm worker processes "
+                        "(repro.farm; reports are byte-identical to --jobs 1)")
+    p.add_argument("--farm", action="store_true",
+                   help="instead of the fast-path matrix, measure the farm's "
+                        "worker-scaling curve (verify fuzz, fault campaign, "
+                        "and quick bench sweeps at each --jobs-curve point, "
+                        "asserting byte-identical reports) and write/check "
+                        "BENCH_farm.json")
+    p.add_argument("--jobs-curve", default="1,2,4,8", metavar="N,N,...",
+                   help="worker counts measured by --farm (default: 1,2,4,8)")
     p.set_defaults(fn=_cmd_bench)
 
     p = sub.add_parser("audit", help="audit protocol transition tables")
@@ -671,6 +767,15 @@ def build_parser() -> argparse.ArgumentParser:
                    help="skip counterexample minimization")
     p.add_argument("--regen-traces", action="store_true",
                    help="regenerate the bundled traces under --traces and exit")
+    p.add_argument("--jobs", type=int, default=1, metavar="N",
+                   help="shard the work across N farm worker processes "
+                        "(repro.farm; reports are byte-identical to --jobs 1)")
+    p.add_argument("--report-out", metavar="PATH",
+                   help="write the campaign report as canonical JSON to PATH "
+                        "(byte-identical across --jobs values; CI diffs it)")
+    p.add_argument("--farm-events", metavar="PATH",
+                   help="with --jobs > 1, write the farm's lifecycle events "
+                        "(farm.* dispatch/steal/retry) as JSON lines to PATH")
     p.set_defaults(fn=_cmd_verify)
 
     p = sub.add_parser(
@@ -712,6 +817,15 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--fast", action="store_true",
                    help="run the campaign's FIFO replays on the compiled "
                         "fast path (bit-identical)")
+    p.add_argument("--jobs", type=int, default=1, metavar="N",
+                   help="shard the work across N farm worker processes "
+                        "(repro.farm; reports are byte-identical to --jobs 1)")
+    p.add_argument("--report-out", metavar="PATH",
+                   help="write the campaign report as canonical JSON to PATH "
+                        "(byte-identical across --jobs values; CI diffs it)")
+    p.add_argument("--farm-events", metavar="PATH",
+                   help="with --jobs > 1, write the farm's lifecycle events "
+                        "(farm.* dispatch/steal/retry) as JSON lines to PATH")
     p.set_defaults(fn=_cmd_faults)
 
     return parser

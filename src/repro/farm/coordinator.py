@@ -1,0 +1,226 @@
+"""The farm coordinator: dispatch, crash retry, preemption, and collection.
+
+:func:`run_farm` drives a :class:`~repro.farm.scheduler.WorkStealingScheduler`
+over a transport (:mod:`repro.farm.transport`): it keeps every worker busy,
+collects per-job payloads as they stream in, and handles the two failure
+modes —
+
+* **worker crash** — detected by process liveness while a job is in
+  flight.  The job is requeued at the front of its owner deck (retries are
+  on the critical path) with an ``attempt`` counter in its params, the
+  worker is respawned under the same id, and after ``max_retries``
+  crash-retries of the same job the farm raises
+  :class:`~repro.farm.transport.FarmError`.  If the job had streamed a
+  checkpoint envelope, the retry resumes from it instead of from scratch.
+* **preemption** — requested through a :class:`FarmController`.  A
+  preemptible job checkpoints at its next quiescent boundary
+  (:mod:`repro.farm.preempt`) and comes back as a resume envelope; the
+  coordinator requeues the job with the envelope attached, and whichever
+  worker picks it up finishes the run bit-identically.
+
+Determinism contract: the coordinator never interprets payloads — callers
+fold ``FarmResult.results`` in job-index order with the same pure fold the
+sequential path uses, so scheduling, stealing, retries, and preemptions
+are all invisible in the aggregated report.
+
+Farm lifecycle events (``farm.*`` in :class:`repro.obs.events.EventKind`)
+are emitted on the caller's tracer with host-relative timestamps and the
+worker id as the node, so ``repro trace``-style timelines cover parallel
+campaigns.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+
+from repro.farm.jobs import FarmJob
+from repro.farm.scheduler import WorkStealingScheduler
+from repro.farm.transport import (
+    FarmError,
+    InlineTransport,
+    LocalProcessTransport,
+)
+from repro.farm.worker import worker_main
+from repro.obs.events import EventKind
+
+
+class FarmController:
+    """Caller-side preemption valve.
+
+    ``controller.preempt(job_index)`` asks the farm to checkpoint-preempt
+    that job the next time it is (or already is) running; the request is
+    consumed by the first preemption or completion of the job.
+    """
+
+    def __init__(self) -> None:
+        self.requests: set[int] = set()
+
+    def preempt(self, job_index: int) -> None:
+        self.requests.add(job_index)
+
+
+@dataclass
+class FarmResult:
+    """What one farm run produced, plus its scheduling footprint."""
+
+    results: dict[int, object] = field(default_factory=dict)
+    workers: int = 0
+    steals: int = 0
+    retries: int = 0
+    preemptions: int = 0
+    worker_crashes: int = 0
+
+
+def run_farm(
+    jobs: list[FarmJob],
+    n_workers: int = 2,
+    *,
+    tracer=None,
+    progress=None,
+    max_retries: int = 2,
+    transport=None,
+    controller: FarmController | None = None,
+    poll_interval: float = 0.2,
+) -> FarmResult:
+    """Execute ``jobs`` on a worker pool; returns every job's payload.
+
+    ``n_workers`` is clamped to the job count; one worker uses the inline
+    (same-process) transport.  ``transport`` overrides the backend — the
+    multi-host seam.  ``tracer`` receives ``farm.*`` lifecycle events;
+    ``progress`` gets a coarse completion line every ~10% of jobs.
+    """
+    jobs = list(jobs)
+    result = FarmResult()
+    if not jobs:
+        return result
+    if transport is None:
+        n = max(1, min(n_workers, len(jobs)))
+        transport = LocalProcessTransport(n) if n > 1 else InlineTransport()
+    n_workers = transport.n_workers
+    result.workers = n_workers
+    scheduler = WorkStealingScheduler(jobs, n_workers)
+    total = len(jobs)
+    report_every = max(1, total // 10)
+    t0 = time.perf_counter()
+
+    def emit(kind: str, node: int | None = None, **attrs) -> None:
+        if tracer is not None and tracer.enabled:
+            tracer.emit(kind, time.perf_counter() - t0, node=node, **attrs)
+
+    idle: set[int] = set(range(n_workers))
+    attempts: dict[int, int] = {}
+    envelopes: dict[int, dict] = {}  # job index -> last streamed checkpoint
+    pending_preempt: dict[int, int] = {}  # worker -> job it should preempt
+
+    def dispatch() -> None:
+        for wid in sorted(idle):
+            assignment = scheduler.acquire(wid)
+            if assignment is None:
+                continue
+            idle.discard(wid)
+            job = assignment.job
+            wants_preempt = (controller is not None and job.preemptible
+                             and job.index in controller.requests)
+            if wants_preempt:
+                # arm the flag before the job starts so even a synchronous
+                # (inline) worker observes it at its first checkpoint
+                pending_preempt[wid] = job.index
+                transport.preempt(wid)
+            transport.send(wid, ("job", job))
+            emit(EventKind.FARM_DISPATCH, node=wid, job=job.index,
+                 job_kind=job.kind)
+            if assignment.stolen_from is not None:
+                result.steals += 1
+                emit(EventKind.FARM_STEAL, node=wid, job=job.index,
+                     victim=assignment.stolen_from)
+
+    def clear_preempt_state(wid: int, job_index: int) -> None:
+        if controller is not None:
+            controller.requests.discard(job_index)
+        if pending_preempt.get(wid) == job_index:
+            pending_preempt.pop(wid)
+            transport.clear_preempt(wid)
+
+    def requeue(job: FarmJob, wid: int, *, resume: dict | None,
+                crashed: bool) -> None:
+        params = dict(job.params)
+        if crashed:
+            attempts[job.index] = attempts.get(job.index, 0) + 1
+            if attempts[job.index] > max_retries:
+                raise FarmError(
+                    f"{job.describe()} lost to {attempts[job.index]} worker "
+                    f"crash(es); retry budget is {max_retries}"
+                )
+            params["attempt"] = attempts[job.index]
+            result.retries += 1
+            emit(EventKind.FARM_RETRY, node=wid, job=job.index,
+                 attempt=attempts[job.index])
+        if resume is not None:
+            params["resume"] = resume
+        else:
+            params.pop("resume", None)
+        fresh = FarmJob(index=job.index, kind=job.kind, params=params,
+                        preemptible=job.preemptible)
+        scheduler.replace(fresh)
+        scheduler.requeue(fresh)
+
+    def check_crashes() -> None:
+        for wid in range(n_workers):
+            if transport.alive(wid):
+                continue
+            result.worker_crashes += 1
+            emit(EventKind.FARM_WORKER_DOWN, node=wid, crashed=True)
+            for job in scheduler.running_on(wid):
+                requeue(job, wid, resume=envelopes.get(job.index),
+                        crashed=True)
+            pending_preempt.pop(wid, None)
+            transport.respawn(wid)
+            emit(EventKind.FARM_WORKER_UP, node=wid, respawned=True)
+            idle.add(wid)
+        dispatch()
+
+    transport.start(worker_main)
+    for wid in range(n_workers):
+        emit(EventKind.FARM_WORKER_UP, node=wid)
+    try:
+        dispatch()
+        while scheduler.outstanding > 0:
+            message = transport.recv(timeout=poll_interval)
+            if message is None:
+                check_crashes()
+                continue
+            kind, wid, job_index, payload = message
+            if kind == "result":
+                scheduler.complete(job_index)
+                result.results[job_index] = payload
+                envelopes.pop(job_index, None)
+                clear_preempt_state(wid, job_index)
+                emit(EventKind.FARM_DONE, node=wid, job=job_index)
+                if progress and len(result.results) % report_every == 0:
+                    progress(f"[farm] {len(result.results)}/{total} job(s) "
+                             f"done on {n_workers} worker(s)")
+                idle.add(wid)
+                dispatch()
+            elif kind == "preempted":
+                result.preemptions += 1
+                clear_preempt_state(wid, job_index)
+                emit(EventKind.FARM_PREEMPT, node=wid, job=job_index)
+                job = scheduler.job(job_index)
+                scheduler.complete(job_index)  # off the worker; requeue next
+                requeue(job, wid, resume=payload, crashed=False)
+                idle.add(wid)
+                dispatch()
+            elif kind == "progress":
+                envelopes[job_index] = payload
+            elif kind == "error":
+                raise FarmError(
+                    f"job#{job_index} failed on worker {wid}: {payload}"
+                )
+            # "up"/"down" worker messages are informational; the
+            # coordinator's own lifecycle events are authoritative
+    finally:
+        transport.stop()
+        for wid in range(n_workers):
+            emit(EventKind.FARM_WORKER_DOWN, node=wid)
+    return result

@@ -22,13 +22,17 @@ from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Callable, Sequence
 
+from repro.farm.jobs import derive_seed
+from repro.farm.preempt import deserialize_observables, serialize_observables
 from repro.faults.plan import (
     BUNDLED_PLANS,
     CRASH_PLANS,
     UNRECOVERABLE_PLAN,
+    FaultEvent,
     FaultPlan,
     save_plan,
 )
+from repro.obs.metrics import MetricsRegistry, registry_from_run
 from repro.tempest.tracefile import load_session
 from repro.util.config import MachineConfig
 from repro.util.errors import TransportTimeout
@@ -38,6 +42,8 @@ from repro.verify.workload import ALL_PROTOCOLS, Workload, generate_workload
 
 #: default location of the bundled sessions, relative to the repo root
 DEFAULT_TRACES_DIR = Path("examples/traces")
+
+FAULTS_SCHEMA = "repro.faultcampaign/v1"
 
 
 @dataclass
@@ -70,6 +76,38 @@ class FaultFailure:
                 lines.append(f"    - {ev.describe()}")
         return "\n".join(lines)
 
+    def to_dict(self) -> dict:
+        return {
+            "plan": self.plan,
+            "protocol": self.protocol,
+            "workload": self.workload,
+            "violation": self.violation.to_dict(),
+            "injected": self.injected,
+            "minimized_events": (
+                [ev.to_dict() for ev in self.minimized_events]
+                if self.minimized_events is not None else None
+            ),
+            "shrink_runs": self.shrink_runs,
+            "scripted_plan": (self.scripted_plan.to_dict()
+                              if self.scripted_plan is not None else None),
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "FaultFailure":
+        return cls(
+            plan=data["plan"], protocol=data["protocol"],
+            workload=data["workload"],
+            violation=CoherenceViolation.from_dict(data["violation"]),
+            injected=data["injected"],
+            minimized_events=(
+                [FaultEvent.from_dict(ev) for ev in data["minimized_events"]]
+                if data["minimized_events"] is not None else None
+            ),
+            shrink_runs=data["shrink_runs"],
+            scripted_plan=(FaultPlan.from_dict(data["scripted_plan"])
+                           if data["scripted_plan"] is not None else None),
+        )
+
 
 @dataclass
 class FaultCampaignReport:
@@ -81,11 +119,30 @@ class FaultCampaignReport:
     failures: list[FaultFailure] = field(default_factory=list)
     #: None = not checked; True = failed fast with full context as required
     unrecoverable_ok: bool | None = None
+    #: per-run simulator metrics labelled by (plan, protocol), merged
+    metrics: MetricsRegistry = field(default_factory=MetricsRegistry)
     elapsed: float = 0.0
 
     @property
     def ok(self) -> bool:
         return not self.failures and self.unrecoverable_ok is not False
+
+    def to_dict(self) -> dict:
+        """Canonical JSON-safe report, excluding wall-clock ``elapsed``.
+
+        The determinism surface for the campaign farm: a ``--jobs N`` run's
+        ``to_dict`` must equal the sequential run's byte for byte.
+        """
+        return {
+            "schema": FAULTS_SCHEMA,
+            "plans": self.plans,
+            "workloads": self.workloads,
+            "runs": self.runs,
+            "ok": self.ok,
+            "unrecoverable_ok": self.unrecoverable_ok,
+            "failures": [fail.to_dict() for fail in self.failures],
+            "metrics": self.metrics.to_dict(),
+        }
 
     def summary(self) -> str:
         lines = [
@@ -149,17 +206,19 @@ def shrink_events(
     return events, runs
 
 
-def _trace_workloads(traces_dir: Path) -> list[tuple[str, Workload]]:
-    out = []
-    for path in sorted(traces_dir.glob("*.trace")):
-        events, regions = load_session(path)
-        n_nodes = next(len(ev[1].ops) for ev in events if ev[0] == "phase")
-        cfg = MachineConfig(n_nodes=n_nodes, block_size=32, page_size=128)
-        out.append((path.name, Workload(
-            seed=-1, config=cfg, events=events, regions=regions,
-            protocols=tuple(ALL_PROTOCOLS),
-        )))
-    return out
+def _load_trace_workload(path: Path) -> Workload:
+    events, regions = load_session(path)
+    n_nodes = next(len(ev[1].ops) for ev in events if ev[0] == "phase")
+    cfg = MachineConfig(n_nodes=n_nodes, block_size=32, page_size=128)
+    return Workload(seed=-1, config=cfg, events=events, regions=regions,
+                    protocols=tuple(ALL_PROTOCOLS))
+
+
+def _resolve_workload(wspec: dict) -> Workload:
+    """Rebuild a cell's workload from its transport-safe description."""
+    if wspec["type"] == "seed":
+        return generate_workload(wspec["seed"])
+    return _load_trace_workload(Path(wspec["path"]))
 
 
 def _dump_script(directory: str | Path, fail: FaultFailure) -> Path:
@@ -190,6 +249,155 @@ def _check_unrecoverable(workload: Workload, protocol: str,
     return False
 
 
+def _build_failure(workload: Workload, w_name: str, plan_name: str,
+                   protocol: str, plan: FaultPlan,
+                   violation: CoherenceViolation, shrink: bool,
+                   fast: bool) -> FaultFailure:
+    """Capture one failing run: script its injection history and shrink it."""
+    fail = FaultFailure(
+        plan=plan_name, protocol=protocol, workload=w_name,
+        violation=violation,
+        injected=len(getattr(violation, "fault_events", [])),
+    )
+    if shrink and getattr(violation, "fault_events", None):
+        scripted = plan.as_scripted(violation.fault_events)
+        fail.scripted_plan = scripted
+
+        def fails(subset) -> bool:
+            try:
+                run_workload(workload, protocol,
+                             fault_plan=scripted.with_(events=tuple(subset)),
+                             fast=fast)
+            except CoherenceViolation:
+                return True
+            return False
+
+        fail.minimized_events, fail.shrink_runs = shrink_events(
+            fails, violation.fault_events
+        )
+        if fail.minimized_events is not None:
+            fail.scripted_plan = scripted.with_(
+                events=tuple(fail.minimized_events)
+            )
+    return fail
+
+
+def run_fault_cell(spec: dict, control=None):
+    """Run one campaign cell — (workload x plan x variant) across protocols.
+
+    A pure function of the transport-safe ``spec``; both the sequential
+    path and farm workers execute cells through here, so a farmed
+    campaign's folded report is byte-identical to the sequential one.
+    Returns a JSON-safe result dict (``runs``/``failures``/``metrics``).
+
+    ``control`` (farm workers only) enables checkpoint preemption: the run
+    executes through :func:`repro.farm.preempt.sliced_run`, and a
+    preemption returns ``("preempted", envelope)`` where the envelope holds
+    the completed per-protocol results plus the in-flight run's machine
+    checkpoint; retrying the cell with ``spec["resume"] = envelope``
+    finishes it with identical output.
+    """
+    workload = _resolve_workload(spec["workload"])
+    w_name = spec["workload"]["name"]
+    base_plan = FaultPlan.from_dict(spec["plan"])
+    plan_name, variant = spec["plan_name"], spec["variant"]
+    shrink, fast = spec["shrink"], spec["fast"]
+    resume = spec.get("resume") or {}
+    done: list[dict] = list(resume.get("done", []))
+    current = resume.get("current")
+
+    for p_index, protocol in enumerate(spec["protocols"]):
+        if p_index < len(done):
+            continue  # finished before a preemption/crash; result carried over
+        plan = base_plan.with_(seed=derive_seed(
+            base_plan.seed, w_name, plan_name, variant, protocol
+        ))
+        resume_env = (current if current is not None
+                      and current.get("p_index") == p_index else None)
+        obs = failure = None
+        try:
+            if control is not None:
+                from repro.farm.preempt import sliced_run
+
+                status, payload = sliced_run(
+                    workload, protocol, fault_plan=plan, fast=fast,
+                    should_preempt=control.should_preempt, resume=resume_env,
+                )
+                if status == "preempted":
+                    return "preempted", {
+                        "done": done,
+                        "current": {"p_index": p_index, **payload},
+                    }
+                obs = payload
+            else:
+                obs = run_workload(workload, protocol, fault_plan=plan,
+                                   fast=fast)
+        except CoherenceViolation as violation:
+            failure = _build_failure(workload, w_name, plan_name, protocol,
+                                     plan, violation, shrink, fast)
+        if failure is not None:
+            done.append({"failure": failure.to_dict()})
+        else:
+            registry = registry_from_run(obs.stats, plan=plan_name,
+                                         protocol=protocol)
+            done.append({"failure": None,
+                         "obs": serialize_observables(obs),
+                         "metrics": registry.to_dict()})
+        current = None
+    return _finish_cell(workload, w_name, plan_name, done)
+
+
+def _finish_cell(workload: Workload, w_name: str, plan_name: str,
+                 done: list[dict]) -> dict:
+    """Differential-check a cell's survivors and package the cell result."""
+    result: dict = {"runs": len(done), "failures": [], "metrics": None}
+    registry = MetricsRegistry()
+    observed: dict[str, Observables] = {}
+    for run_res in done:
+        if run_res["failure"] is not None:
+            result["failures"].append(run_res["failure"])
+        else:
+            obs = deserialize_observables(run_res["obs"])
+            observed[obs.protocol] = obs
+            registry.update(MetricsRegistry.from_dict(run_res["metrics"]))
+    if observed:
+        try:
+            differential_check(workload, observed)
+        except CoherenceViolation as violation:
+            result["failures"].append(FaultFailure(
+                plan=plan_name, protocol=violation.protocol,
+                workload=w_name, violation=violation,
+            ).to_dict())
+    result["metrics"] = registry.to_dict()
+    return result
+
+
+def run_fault_probe(spec: dict, control=None) -> dict:
+    """The unrecoverable fail-fast probe as a farmable job."""
+    workload = _resolve_workload(spec["workload"])
+    return {"unrecoverable_ok": _check_unrecoverable(workload, "stache",
+                                                     fast=spec["fast"])}
+
+
+def _fold_cell_result(report: FaultCampaignReport, result: dict,
+                      progress: Callable[[str], None] | None,
+                      dump_scripts: str | Path | None) -> None:
+    """Fold one cell result into the report, in canonical cell order."""
+    report.runs += result["runs"]
+    for fdict in result["failures"]:
+        fail = FaultFailure.from_dict(fdict)
+        report.failures.append(fail)
+        if dump_scripts is not None and fail.scripted_plan:
+            _dump_script(dump_scripts, fail)
+        if progress:
+            if fail.violation.invariant == "differential":
+                progress(f"{fail.plan}/{fail.workload}: DIFFERENTIAL mismatch")
+            else:
+                progress(f"{fail.plan}/{fail.protocol}/{fail.workload}: "
+                         f"FAILURE ({fail.violation.invariant})")
+    report.metrics.update(MetricsRegistry.from_dict(result["metrics"]))
+
+
 def run_campaign(
     plans: dict[str, FaultPlan] | None = None,
     seeds: int = 2,
@@ -201,104 +409,101 @@ def run_campaign(
     progress: Callable[[str], None] | None = None,
     dump_scripts: str | Path | None = None,
     fast: bool = False,
+    jobs: int = 1,
+    tracer=None,
+    farm_transport=None,
+    farm_controller=None,
 ) -> FaultCampaignReport:
     """Run every (plan x workload x protocol) combination under the monitor.
 
     ``variants`` reseeds each plan that many times per workload, multiplying
-    the distinct injection histories explored.  Survivors of each
-    (plan, workload) pair are cross-checked against the fault-free ground
-    truth via the differential oracle.  ``dump_scripts`` names a directory
-    into which each failure's scripted reproducer (shrunk when possible) is
-    written as JSON for offline replay (:func:`repro.faults.plan.load_plan`).
-    ``fast`` runs every FIFO-ordered replay (including scripted shrinking
-    reruns) on the compiled fast path; results are bit-identical.
+    the distinct injection histories explored; every run's injection seed is
+    a stable :func:`repro.farm.jobs.derive_seed` hash of the run's identity
+    (plan seed, workload, plan name, variant, protocol), so any subset or
+    sharding of the campaign injects exactly what the full sequential
+    campaign would.  Survivors of each (plan, workload) pair are
+    cross-checked against the fault-free ground truth via the differential
+    oracle.  ``dump_scripts`` names a directory into which each failure's
+    scripted reproducer (shrunk when possible) is written as JSON for
+    offline replay (:func:`repro.faults.plan.load_plan`).  ``fast`` runs
+    every FIFO-ordered replay (including scripted shrinking reruns) on the
+    compiled fast path; results are bit-identical.  ``jobs > 1`` shards the
+    campaign cells across a local worker farm
+    (:func:`repro.farm.coordinator.run_farm`) with a byte-identical folded
+    report; ``tracer`` then receives the farm's lifecycle events.
     """
     plans = plans if plans is not None else dict(BUNDLED_PLANS)
     report = FaultCampaignReport(plans=len(plans))
     t0 = time.perf_counter()
 
-    workloads: list[tuple[str, Workload]] = [
-        (f"seed{s}", generate_workload(s)) for s in range(seeds)
+    workloads: list[tuple[str, Workload, dict]] = [
+        (f"seed{s}", generate_workload(s),
+         {"type": "seed", "seed": s, "name": f"seed{s}"})
+        for s in range(seeds)
     ]
     if traces_dir is not None:
         traces_dir = Path(traces_dir)
         if traces_dir.is_dir():
-            workloads.extend(_trace_workloads(traces_dir))
+            for path in sorted(traces_dir.glob("*.trace")):
+                workloads.append((path.name, _load_trace_workload(path),
+                                  {"type": "trace", "path": str(path),
+                                   "name": path.name}))
     report.workloads = len(workloads)
 
-    for w_index, (w_name, workload) in enumerate(workloads):
+    cells: list[dict] = []
+    for w_index, (w_name, workload, wspec) in enumerate(workloads):
         run_protocols = [
             p for p in workload.protocols
             if protocols is None or p in protocols
         ]
         for plan_name, base_plan in plans.items():
             for variant in range(variants):
-                observed: dict[str, Observables] = {}
-                for p_index, protocol in enumerate(run_protocols):
-                    plan = base_plan.with_(
-                        seed=base_plan.seed + 7919 * w_index
-                        + 101 * variant + p_index
-                    )
-                    report.runs += 1
-                    try:
-                        observed[protocol] = run_workload(
-                            workload, protocol, fault_plan=plan, fast=fast
-                        )
-                    except CoherenceViolation as violation:
-                        fail = FaultFailure(
-                            plan=plan_name, protocol=protocol, workload=w_name,
-                            violation=violation,
-                            injected=len(getattr(violation, "fault_events", [])),
-                        )
-                        if shrink and getattr(violation, "fault_events", None):
-                            scripted = plan.as_scripted(violation.fault_events)
-                            fail.scripted_plan = scripted
+                cells.append({
+                    "workload": wspec, "w_index": w_index,
+                    "plan_name": plan_name, "plan": base_plan.to_dict(),
+                    "variant": variant, "protocols": run_protocols,
+                    "shrink": shrink, "fast": fast,
+                })
+    probe = ({"workload": workloads[0][2], "fast": fast}
+             if check_unrecoverable and workloads else None)
 
-                            def fails(subset, _w=workload, _p=protocol,
-                                      _s=scripted) -> bool:
-                                try:
-                                    run_workload(
-                                        _w, _p,
-                                        fault_plan=_s.with_(events=tuple(subset)),
-                                        fast=fast,
-                                    )
-                                except CoherenceViolation:
-                                    return True
-                                return False
+    if jobs > 1 and len(cells) + (1 if probe else 0) > 1:
+        from repro.farm.coordinator import run_farm
+        from repro.farm.jobs import FarmJob
 
-                            fail.minimized_events, fail.shrink_runs = (
-                                shrink_events(fails, violation.fault_events)
-                            )
-                            if fail.minimized_events is not None:
-                                fail.scripted_plan = scripted.with_(
-                                    events=tuple(fail.minimized_events)
-                                )
-                        report.failures.append(fail)
-                        if dump_scripts is not None and fail.scripted_plan:
-                            _dump_script(dump_scripts, fail)
-                        if progress:
-                            progress(
-                                f"{plan_name}/{protocol}/{w_name}: FAILURE "
-                                f"({violation.invariant})"
-                            )
-                if observed:
-                    try:
-                        differential_check(workload, observed)
-                    except CoherenceViolation as violation:
-                        report.failures.append(FaultFailure(
-                            plan=plan_name, protocol=violation.protocol,
-                            workload=w_name, violation=violation,
-                        ))
-                        if progress:
-                            progress(f"{plan_name}/{w_name}: DIFFERENTIAL mismatch")
-        if progress:
-            progress(f"... workload {w_index + 1}/{len(workloads)} done")
+        farm_jobs = [
+            FarmJob(index=i, kind="fault-cell", params=spec, preemptible=True)
+            for i, spec in enumerate(cells)
+        ]
+        if probe is not None:
+            farm_jobs.append(FarmJob(index=len(cells), kind="fault-probe",
+                                     params=probe))
+        farm = run_farm(farm_jobs, n_workers=jobs, tracer=tracer,
+                        progress=progress, transport=farm_transport,
+                        controller=farm_controller)
+        results = [farm.results[i] for i in range(len(farm_jobs))]
+    else:
+        def _sequential():
+            for spec in cells:
+                yield run_fault_cell(spec)
+            if probe is not None:
+                yield run_fault_probe(probe)
 
-    if check_unrecoverable and workloads:
-        report.unrecoverable_ok = _check_unrecoverable(
-            workloads[0][1], "stache", fast=fast
-        )
-        report.runs += 1
+        results = _sequential()
+
+    last_w = -1
+    for i, result in enumerate(results):
+        if "unrecoverable_ok" in result:
+            report.unrecoverable_ok = result["unrecoverable_ok"]
+            report.runs += 1
+            continue
+        w_index = cells[i]["w_index"]
+        if progress and last_w >= 0 and w_index != last_w:
+            progress(f"... workload {last_w + 1}/{len(workloads)} done")
+        last_w = w_index
+        _fold_cell_result(report, result, progress, dump_scripts)
+    if progress and last_w >= 0:
+        progress(f"... workload {last_w + 1}/{len(workloads)} done")
 
     report.elapsed = time.perf_counter() - t0
     return report

@@ -82,6 +82,17 @@ class EventKind:
     # discrete-event engine
     ENGINE_RUN = "engine.run"
 
+    # campaign farm (coordinator; ``ts`` is host seconds since farm start
+    # and ``node`` is the worker id — parallel campaigns have no single
+    # simulated clock to stamp)
+    FARM_WORKER_UP = "farm.worker.up"
+    FARM_WORKER_DOWN = "farm.worker.down"
+    FARM_DISPATCH = "farm.dispatch"
+    FARM_STEAL = "farm.steal"
+    FARM_DONE = "farm.done"
+    FARM_RETRY = "farm.retry"
+    FARM_PREEMPT = "farm.preempt"
+
     @classmethod
     def all_kinds(cls) -> frozenset[str]:
         return frozenset(

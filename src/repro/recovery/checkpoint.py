@@ -256,14 +256,18 @@ def _snapshot_crash(machine: "Machine") -> dict | None:
 # -- restore -------------------------------------------------------------------
 
 
-def restore_machine(snap: dict, fast: bool = False) -> "Machine":
+def restore_machine(snap: dict, fast: bool = False, engine=None) -> "Machine":
     """Build a fresh machine in exactly the snapshotted state.
 
     Replaying the remainder of the session on the returned machine is
     bit-identical to the uninterrupted run: every counter, clock, RNG state,
     and structure iteration order is reproduced.  ``fast`` restores onto the
     compiled fast path (checkpoints are representation-independent, so
-    either path can resume the other's snapshot).
+    either path can resume the other's snapshot).  ``engine`` optionally
+    supplies a pre-built event engine, exactly as in
+    :func:`~repro.core.factory.make_machine` — the farm's preemption layer
+    resumes runs under the same :class:`~repro.verify.interleave.
+    ExplorerEngine` the original machine used.
     """
     if snap.get("version") != CHECKPOINT_VERSION:
         raise SimulationError(
@@ -275,7 +279,7 @@ def restore_machine(snap: dict, fast: bool = False) -> "Machine":
     from repro.util.config import MachineConfig
 
     config = MachineConfig(**snap["config"])
-    machine = make_machine(config, snap["protocol"], fast=fast)
+    machine = make_machine(config, snap["protocol"], engine=engine, fast=fast)
     restore_regions(machine, snap["regions"])
     if snap["plan"] is not None:
         from repro.faults.plan import FaultPlan

@@ -16,7 +16,7 @@ are the across-node means, which therefore also sum to wall time.
 from __future__ import annotations
 
 import enum
-from dataclasses import dataclass, field
+from dataclasses import asdict, dataclass, field, fields
 from typing import Iterable, Mapping
 
 
@@ -65,6 +65,17 @@ class NodeStats:
     def total(self) -> float:
         return sum(self.cycles.values())
 
+    def to_dict(self) -> dict:
+        d = {f.name: getattr(self, f.name) for f in fields(self)}
+        d["cycles"] = {c.value: t for c, t in self.cycles.items()}
+        return d
+
+    @classmethod
+    def from_dict(cls, d: Mapping) -> "NodeStats":
+        d = dict(d)
+        d["cycles"] = {TimeCategory(k): v for k, v in d["cycles"].items()}
+        return cls(**d)
+
 
 @dataclass
 class PhaseBreakdown:
@@ -88,6 +99,13 @@ class PhaseBreakdown:
         total = self.hits + self.misses
         return self.hits / total if total else 1.0
 
+    def to_dict(self) -> dict:
+        return asdict(self)
+
+    @classmethod
+    def from_dict(cls, d: Mapping) -> "PhaseBreakdown":
+        return cls(**d)
+
 
 class RunStats:
     """Statistics for one full program run on the simulated machine."""
@@ -99,6 +117,33 @@ class RunStats:
         self.total_remote_requests: int = 0
         #: predictive schedules flushed for chronic misprediction (degradation)
         self.schedules_degraded: int = 0
+
+    # -- serialization ---------------------------------------------------------
+
+    def to_dict(self) -> dict:
+        """JSON-safe form; :meth:`from_dict` reconstructs an equal object.
+
+        This is the transport format farm workers use to ship a run's
+        accounting back to the coordinator (``repro.farm``); it is lossless,
+        unlike the reporting-oriented ``repro.obs.run_stats_json``.
+        """
+        return {
+            "nodes": [n.to_dict() for n in self.nodes],
+            "phases": [p.to_dict() for p in self.phases],
+            "wall_time": self.wall_time,
+            "total_remote_requests": self.total_remote_requests,
+            "schedules_degraded": self.schedules_degraded,
+        }
+
+    @classmethod
+    def from_dict(cls, d: Mapping) -> "RunStats":
+        stats = cls(n_nodes=len(d["nodes"]))
+        stats.nodes = [NodeStats.from_dict(n) for n in d["nodes"]]
+        stats.phases = [PhaseBreakdown.from_dict(p) for p in d["phases"]]
+        stats.wall_time = d["wall_time"]
+        stats.total_remote_requests = d["total_remote_requests"]
+        stats.schedules_degraded = d["schedules_degraded"]
+        return stats
 
     # -- summaries ------------------------------------------------------------
 

@@ -20,6 +20,8 @@ from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Callable, Sequence
 
+from repro.farm.jobs import derive_seed
+from repro.obs.metrics import MetricsRegistry, registry_from_run
 from repro.tempest.tracefile import load_session
 from repro.util.config import MachineConfig
 from repro.verify.interleave import ReplayPolicy, SeededRandomPolicy, explore_dfs
@@ -30,6 +32,8 @@ from repro.verify.workload import (
     Workload,
     generate_workload,
 )
+
+FUZZ_SCHEMA = "repro.fuzz/v1"
 
 
 @dataclass
@@ -51,6 +55,24 @@ class ViolationRecord:
             )
         return "\n".join(lines)
 
+    def to_dict(self) -> dict:
+        return {
+            "seed": self.seed,
+            "protocol": self.protocol,
+            "violation": self.violation.to_dict(),
+            "minimized_schedule": self.minimized_schedule,
+            "shrink_runs": self.shrink_runs,
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "ViolationRecord":
+        return cls(
+            seed=data["seed"], protocol=data["protocol"],
+            violation=CoherenceViolation.from_dict(data["violation"]),
+            minimized_schedule=data["minimized_schedule"],
+            shrink_runs=data["shrink_runs"],
+        )
+
 
 @dataclass
 class FuzzReport:
@@ -60,6 +82,8 @@ class FuzzReport:
     runs: int = 0
     protocols: tuple = ALL_PROTOCOLS
     violations: list[ViolationRecord] = field(default_factory=list)
+    #: per-run simulator metrics, labelled by protocol, merged across seeds
+    metrics: MetricsRegistry = field(default_factory=MetricsRegistry)
     elapsed: float = 0.0
 
     @property
@@ -78,6 +102,23 @@ class FuzzReport:
             for rec in self.violations:
                 lines.append(rec.report())
         return "\n".join(lines)
+
+    def to_dict(self) -> dict:
+        """Canonical JSON-safe report — everything except wall-clock time.
+
+        This is the determinism surface: a farmed campaign's ``to_dict``
+        must equal the sequential campaign's byte for byte (``elapsed`` is
+        host time, so it is deliberately excluded).
+        """
+        return {
+            "schema": FUZZ_SCHEMA,
+            "seeds": self.seeds,
+            "runs": self.runs,
+            "protocols": list(self.protocols),
+            "ok": self.ok,
+            "violations": [rec.to_dict() for rec in self.violations],
+            "metrics": self.metrics.to_dict(),
+        }
 
 
 def shrink_schedule(
@@ -124,50 +165,111 @@ def _fails_with(workload: Workload, protocol: str) -> Callable[[list[int]], bool
     return fails
 
 
+def fuzz_seed_job(spec: dict) -> dict:
+    """Run one seed's complete fuzz work; a pure function of ``spec``.
+
+    ``spec`` is transport-safe (``{"seed", "protocols", "shrink"}``) and the
+    result is a JSON-safe dict — this is the unit the campaign farm ships to
+    workers, and the exact same function the sequential path folds, which is
+    what makes ``--jobs N`` reports byte-identical to ``--jobs 1``.
+
+    Each protocol's tie-break stream is seeded with
+    ``derive_seed(seed, protocol)``: a stable hash of the run's identity,
+    so protocols no longer share one interleaving stream and a sharded
+    campaign explores exactly the orders the sequential one would.
+    """
+    seed = int(spec["seed"])
+    protocols = tuple(spec["protocols"])
+    shrink = bool(spec["shrink"])
+    workload = generate_workload(seed)
+    run_protocols = [p for p in workload.protocols if p in protocols]
+    registry = MetricsRegistry()
+    out: dict = {"seed": seed, "runs": 0, "violations": [], "progress": []}
+    observed: dict[str, Observables] = {}
+    for protocol in run_protocols:
+        policy = SeededRandomPolicy(derive_seed(seed, protocol))
+        out["runs"] += 1
+        try:
+            obs = run_workload(workload, protocol, policy)
+        except CoherenceViolation as violation:
+            rec = ViolationRecord(seed=seed, protocol=protocol, violation=violation)
+            if shrink and violation.schedule:
+                rec.minimized_schedule, rec.shrink_runs = shrink_schedule(
+                    _fails_with(workload, protocol), violation.schedule
+                )
+            elif shrink:
+                rec.minimized_schedule, rec.shrink_runs = [], 0
+            out["violations"].append(rec.to_dict())
+            out["progress"].append(
+                f"seed {seed} [{protocol}]: VIOLATION ({violation.invariant})"
+            )
+            continue
+        observed[protocol] = obs
+        registry.update(registry_from_run(obs.stats, protocol=protocol))
+    if observed:
+        try:
+            differential_check(workload, observed)
+        except CoherenceViolation as violation:
+            out["violations"].append(
+                ViolationRecord(seed=seed, protocol=violation.protocol,
+                                violation=violation).to_dict()
+            )
+            out["progress"].append(f"seed {seed}: DIFFERENTIAL mismatch")
+    out["metrics"] = registry.to_dict()
+    return out
+
+
+def _fold_seed_result(report: FuzzReport, result: dict,
+                      progress: Callable[[str], None] | None) -> None:
+    """Fold one :func:`fuzz_seed_job` result into the campaign report."""
+    report.seeds += 1
+    report.runs += result["runs"]
+    for rec in result["violations"]:
+        report.violations.append(ViolationRecord.from_dict(rec))
+    report.metrics.update(MetricsRegistry.from_dict(result["metrics"]))
+    if progress:
+        for message in result["progress"]:
+            progress(message)
+
+
 def fuzz(
     seeds: int = 50,
     protocols: Sequence[str] | None = None,
     first_seed: int = 0,
     shrink: bool = True,
     progress: Callable[[str], None] | None = None,
+    jobs: int = 1,
+    tracer=None,
 ) -> FuzzReport:
-    """Fuzz ``seeds`` workloads under adversarial interleavings."""
+    """Fuzz ``seeds`` workloads under adversarial interleavings.
+
+    ``jobs > 1`` shards the seeds across a local worker farm
+    (:func:`repro.farm.coordinator.run_farm`); the folded report's
+    :meth:`~FuzzReport.to_dict` is byte-identical to the sequential one.
+    ``tracer`` (farm runs only) receives the farm's lifecycle events.
+    """
     report = FuzzReport(protocols=tuple(protocols) if protocols else ALL_PROTOCOLS)
     t0 = time.perf_counter()
-    for seed in range(first_seed, first_seed + seeds):
-        workload = generate_workload(seed)
-        run_protocols = [p for p in workload.protocols if p in report.protocols]
-        observed: dict[str, Observables] = {}
-        report.seeds += 1
-        for protocol in run_protocols:
-            policy = SeededRandomPolicy(seed)
-            report.runs += 1
-            try:
-                observed[protocol] = run_workload(workload, protocol, policy)
-            except CoherenceViolation as violation:
-                rec = ViolationRecord(seed=seed, protocol=protocol, violation=violation)
-                if shrink and violation.schedule:
-                    rec.minimized_schedule, rec.shrink_runs = shrink_schedule(
-                        _fails_with(workload, protocol), violation.schedule
-                    )
-                elif shrink:
-                    rec.minimized_schedule, rec.shrink_runs = [], 0
-                report.violations.append(rec)
-                if progress:
-                    progress(f"seed {seed} [{protocol}]: VIOLATION "
-                             f"({violation.invariant})")
-        if observed:
-            try:
-                differential_check(workload, observed)
-            except CoherenceViolation as violation:
-                report.violations.append(
-                    ViolationRecord(seed=seed, protocol=violation.protocol,
-                                    violation=violation)
-                )
-                if progress:
-                    progress(f"seed {seed}: DIFFERENTIAL mismatch")
-        if progress and seed % 25 == 24:
-            progress(f"... {seed + 1 - first_seed}/{seeds} seeds")
+    specs = [
+        {"seed": seed, "protocols": list(report.protocols), "shrink": shrink}
+        for seed in range(first_seed, first_seed + seeds)
+    ]
+    if jobs > 1 and len(specs) > 1:
+        from repro.farm.coordinator import run_farm
+        from repro.farm.jobs import FarmJob
+
+        farm = run_farm(
+            [FarmJob(index=i, kind="fuzz-seed", params=spec)
+             for i, spec in enumerate(specs)],
+            n_workers=jobs, tracer=tracer, progress=progress,
+        )
+        results = [farm.results[i] for i in range(len(specs))]
+    else:
+        results = (fuzz_seed_job(spec) for spec in specs)
+    for i, result in enumerate(results):
+        _fold_seed_result(report, result, progress)
+        if progress and i % 25 == 24:
+            progress(f"... {i + 1}/{seeds} seeds")
     report.elapsed = time.perf_counter() - t0
     return report
 
@@ -243,11 +345,14 @@ def verify_trace_file(
         for policy in policies:
             report.runs += 1
             try:
-                observed[protocol] = run_workload(workload, protocol, policy)
+                obs = run_workload(workload, protocol, policy)
             except CoherenceViolation as violation:
                 report.violations.append(
                     ViolationRecord(seed=-1, protocol=protocol, violation=violation)
                 )
+                continue
+            observed[protocol] = obs
+            report.metrics.update(registry_from_run(obs.stats, protocol=protocol))
     if observed:
         try:
             differential_check(workload, observed)

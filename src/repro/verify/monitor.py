@@ -75,6 +75,37 @@ class CoherenceViolation(ReproError):
         lines.append(f"  schedule: {self.schedule or '(FIFO order)'}")
         return "\n".join(lines)
 
+    def to_dict(self) -> dict:
+        """JSON-safe form; :meth:`from_dict` rebuilds an equivalent violation.
+
+        Includes the ``fault_events`` list that :func:`repro.verify.oracle.
+        run_workload` attaches after construction, so a violation can cross
+        a farm worker boundary without losing its injection record.
+        """
+        return {
+            "invariant": self.invariant,
+            "detail": self.detail,
+            "protocol": self.protocol,
+            "phase": self.phase,
+            "seed": self.seed,
+            "schedule": list(self.schedule),
+            "fault_events": [ev.to_dict()
+                             for ev in getattr(self, "fault_events", [])],
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "CoherenceViolation":
+        from repro.faults.plan import FaultEvent
+
+        violation = cls(
+            data["invariant"], data["detail"],
+            protocol=data["protocol"], phase=data["phase"],
+            seed=data["seed"], schedule=data["schedule"],
+        )
+        violation.fault_events = [FaultEvent.from_dict(ev)
+                                  for ev in data.get("fault_events", [])]
+        return violation
+
 
 @dataclass
 class InvariantProfile:
