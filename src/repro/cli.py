@@ -126,6 +126,44 @@ def _write_farm_events(args, tracer) -> None:
     print(f"farm events: {n} event(s) -> {args.farm_events}")
 
 
+def _build_farm_transport(args, tracer):
+    """The multi-host socket transport when ``--hosts N`` asks (else None).
+
+    Binds immediately and prints the listen address; worker agents attach
+    with ``repro farm-worker --connect HOST:PORT``.  ``--chaos-seed``
+    wraps the transport in seeded drop/dup/delay/disconnect injection —
+    reports must stay byte-identical regardless.
+    """
+    if not getattr(args, "hosts", None):
+        return None
+    from repro.farm import ChaosTransport, SocketTransport
+
+    transport = SocketTransport(args.hosts, bind=args.bind, port=args.port,
+                                tracer=tracer)
+    print(f"farm: listening on {transport.host}:{transport.port}, waiting "
+          f"for {args.hosts} worker agent(s) "
+          f"(repro farm-worker --connect {transport.host}:{transport.port})")
+    if args.chaos_seed is not None:
+        transport = ChaosTransport(transport, seed=args.chaos_seed,
+                                   tracer=tracer)
+        print(f"farm: chaos injection armed (seed {args.chaos_seed})")
+    return transport
+
+
+def _cmd_farm_worker(args: argparse.Namespace) -> int:
+    from repro.farm import worker_agent
+
+    host, _, port = args.connect.rpartition(":")
+    if not host or not port.isdigit():
+        print(f"error: --connect wants HOST:PORT, got {args.connect!r}",
+              file=sys.stderr)
+        return 2
+    return worker_agent(host, int(port), heartbeat=args.heartbeat,
+                        watchdog=args.watchdog,
+                        connect_timeout=args.connect_timeout,
+                        label=args.label, progress=print)
+
+
 def _export_trace(path: str, tracer, n_nodes: int) -> list[str]:
     """Write a Chrome trace and validate it; returns the problem list."""
     from repro.obs import validate_chrome_trace, write_chrome_trace
@@ -484,7 +522,8 @@ def _cmd_verify(args: argparse.Namespace) -> int:
         tracer = _farm_tracer(args)
         report = fuzz(seeds=args.seeds, protocols=protocols,
                       shrink=not args.no_shrink, progress=print,
-                      jobs=args.jobs, tracer=tracer)
+                      jobs=args.jobs, tracer=tracer,
+                      farm_transport=_build_farm_transport(args, tracer))
         print(report.summary())
         failed = not report.ok
         if args.report_out:
@@ -565,6 +604,7 @@ def _cmd_faults(args: argparse.Namespace) -> int:
         fast=args.fast,
         jobs=args.jobs,
         tracer=tracer,
+        farm_transport=_build_farm_transport(args, tracer),
     )
     print(report.summary())
     if args.report_out:
@@ -739,6 +779,22 @@ def build_parser() -> argparse.ArgumentParser:
     p = sub.add_parser("audit", help="audit protocol transition tables")
     p.set_defaults(fn=_cmd_audit)
 
+    def add_multihost_options(p: argparse.ArgumentParser) -> None:
+        p.add_argument("--hosts", type=int, default=0, metavar="N",
+                       help="farm the campaign over N remote worker agents "
+                            "connected via TCP (repro farm-worker); reports "
+                            "are byte-identical to --jobs 1")
+        p.add_argument("--bind", default="127.0.0.1",
+                       help="address the farm coordinator listens on with "
+                            "--hosts (default: 127.0.0.1)")
+        p.add_argument("--port", type=int, default=0,
+                       help="listen port for --hosts (default: 0 = "
+                            "OS-assigned, printed at startup)")
+        p.add_argument("--chaos-seed", type=int, default=None, metavar="SEED",
+                       help="with --hosts, inject seeded drop/dup/delay/"
+                            "disconnect chaos into the farm's own transport "
+                            "(the report must not change)")
+
     p = sub.add_parser(
         "verify",
         help="fuzz the protocols under adversarial interleavings with the "
@@ -776,6 +832,7 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--farm-events", metavar="PATH",
                    help="with --jobs > 1, write the farm's lifecycle events "
                         "(farm.* dispatch/steal/retry) as JSON lines to PATH")
+    add_multihost_options(p)
     p.set_defaults(fn=_cmd_verify)
 
     p = sub.add_parser(
@@ -826,7 +883,29 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--farm-events", metavar="PATH",
                    help="with --jobs > 1, write the farm's lifecycle events "
                         "(farm.* dispatch/steal/retry) as JSON lines to PATH")
+    add_multihost_options(p)
     p.set_defaults(fn=_cmd_faults)
+
+    p = sub.add_parser(
+        "farm-worker",
+        help="run a farm worker agent: connect to a coordinator started "
+             "with --hosts and execute campaign jobs on this machine",
+    )
+    p.add_argument("--connect", required=True, metavar="HOST:PORT",
+                   help="the coordinator's listen address (printed by the "
+                        "campaign command when --hosts is given)")
+    p.add_argument("--label", default=None,
+                   help="stable identity this agent presents to the "
+                        "coordinator (default: hostname-pid derived)")
+    p.add_argument("--heartbeat", type=float, default=0.5,
+                   help="heartbeat period in seconds (default: 0.5)")
+    p.add_argument("--watchdog", type=float, default=3.0,
+                   help="declare the link dead after this many seconds of "
+                        "silence (default: 3.0)")
+    p.add_argument("--connect-timeout", type=float, default=120.0,
+                   help="give up if no coordinator is reachable for this "
+                        "many seconds (default: 120)")
+    p.set_defaults(fn=_cmd_farm_worker)
 
     return parser
 

@@ -1,0 +1,153 @@
+"""Chaos wrapper for farm transports: seeded drop/dup/delay/disconnect.
+
+:class:`ChaosTransport` wraps a :class:`~repro.farm.remote.SocketTransport`
+and perturbs the farm's *own* communication the way :mod:`repro.faults`
+perturbs the simulated machine's — same declarative knobs
+(:class:`~repro.faults.plan.FaultPlan` rates, one seeded RNG drawn in
+deterministic dispatch order), applied one layer down:
+
+* ``drop_rate`` — a job dispatch frame vanishes.  The wrapper tells the
+  inner transport the dispatch was lost (``note_lost_dispatch``), so the
+  job's lease is born expired and the coordinator's liveness sweep
+  requeues it — the no-deadlock guarantee.
+* ``dup_rate`` — a job dispatch frame is delivered twice.  The agent runs
+  the job twice; the second result arrives after the lease completed and
+  is fenced as a ghost.  Pure jobs make the duplicate invisible.
+* ``delay_rate`` — a job dispatch frame arrives late (a timer re-issues
+  it after up to ``delay_cap`` seconds).
+* ``crash_rate`` — the worker's TCP link is severed mid-campaign; the
+  agent reconnects with a fresh incarnation and the coordinator reclaims
+  whatever leases lapse in the meantime.
+
+None of this may change the campaign's answer: the differential suite and
+the socket-farm CI job compare chaos-farmed reports byte-for-byte against
+``--jobs 1``.  Chaos draws are seeded, so a chaos run is reproducible —
+but the *reports* must be identical across all seeds anyway.
+"""
+
+from __future__ import annotations
+
+import random
+import threading
+
+from repro.faults.plan import FaultPlan
+from repro.farm.transport import FarmError
+from repro.obs.events import EventKind
+
+#: default chaos mix for the CLI's --chaos-seed knob: lively but survivable
+DEFAULT_CHAOS_PLAN = FaultPlan(
+    name="farm-chaos", drop_rate=0.08, dup_rate=0.08, delay_rate=0.15,
+    crash_rate=0.04,
+)
+
+
+class ChaosTransport:
+    """Inject seeded transport faults between the coordinator and an
+    inner transport, without ever changing the campaign's report."""
+
+    can_respawn = False
+
+    def __init__(self, inner, plan: FaultPlan = DEFAULT_CHAOS_PLAN, *,
+                 seed: int = 0, delay_cap: float = 0.5, tracer=None):
+        if plan.drop_rate > 0 and not hasattr(inner, "note_lost_dispatch"):
+            raise FarmError(
+                f"{type(inner).__name__} cannot account for lost "
+                f"dispatches; chaos drop injection would deadlock the farm"
+            )
+        if plan.crash_rate > 0 and not hasattr(inner, "force_disconnect"):
+            raise FarmError(
+                f"{type(inner).__name__} cannot sever links; chaos "
+                f"disconnect injection is unsupported on it"
+            )
+        self.inner = inner
+        self.plan = plan
+        self.delay_cap = delay_cap
+        self._rng = random.Random(seed)
+        self._tracer = tracer if tracer is not None else getattr(
+            inner, "_tracer", None)
+        self.drops = 0
+        self.dups = 0
+        self.delays = 0
+        self.disconnects = 0
+        #: chaos-induced lease reclaims look like crashes to the
+        #: coordinator; give it budget to ride them out
+        self.suggested_max_retries = 12
+
+    @property
+    def n_workers(self) -> int:
+        return self.inner.n_workers
+
+    def _emit(self, effect: str, wid: int, job_index: int) -> None:
+        emit = getattr(self.inner, "_emit", None)
+        if emit is not None:
+            emit(EventKind.FARM_CHAOS, node=wid, effect=effect,
+                 job=job_index)
+
+    # -- the chaos draw --------------------------------------------------------
+
+    def send(self, wid: int, message: tuple) -> None:
+        if message[0] != "job":
+            self.inner.send(wid, message)  # control frames stay reliable
+            return
+        job = message[1]
+        p = self.plan
+        roll = self._rng.random()
+        delay_draw = self._rng.uniform(0.05, self.delay_cap)  # always drawn
+        if roll < p.crash_rate:
+            self.disconnects += 1
+            self._emit("disconnect", wid, job.index)
+            self.inner.force_disconnect(wid)
+            self.inner.send(wid, message)  # races the teardown: lost or not,
+            return                         # the lease machinery settles it
+        roll -= p.crash_rate
+        if roll < p.drop_rate:
+            self.drops += 1
+            self._emit("drop", wid, job.index)
+            self.inner.note_lost_dispatch(wid, job.index)
+            return
+        roll -= p.drop_rate
+        if roll < p.dup_rate:
+            self.dups += 1
+            self._emit("dup", wid, job.index)
+            self.inner.send(wid, message)
+            self.inner.send(wid, message)
+            return
+        roll -= p.dup_rate
+        if roll < p.delay_rate:
+            self.delays += 1
+            self._emit("delay", wid, job.index)
+            timer = threading.Timer(
+                delay_draw, self.inner.send, args=(wid, message))
+            timer.daemon = True
+            timer.start()
+            return
+        self.inner.send(wid, message)
+
+    # -- everything else passes through ----------------------------------------
+
+    def start(self, worker_main) -> None:
+        self.inner.start(worker_main)
+
+    def stop(self) -> None:
+        self.inner.stop()
+
+    def recv(self, timeout: float = 0.2):
+        return self.inner.recv(timeout=timeout)
+
+    def alive(self, wid: int) -> bool:
+        return self.inner.alive(wid)
+
+    def respawn(self, wid: int) -> None:
+        self.inner.respawn(wid)
+
+    def preempt(self, wid: int) -> None:
+        self.inner.preempt(wid)
+
+    def clear_preempt(self, wid: int) -> None:
+        self.inner.clear_preempt(wid)
+
+    def reclaim_expired(self):
+        return self.inner.reclaim_expired()
+
+    def __getattr__(self, name):
+        return getattr(self.inner, name)

@@ -1,0 +1,155 @@
+"""Wire framing for the multi-host farm: length-prefixed JSON with
+per-frame sequence numbers, acks, and checksums.
+
+One frame on the wire is::
+
+    [4-byte big-endian length][json: {"ack", "body", "seq", "sum"}]
+
+* ``body`` — the application message (a plain JSON document; the farm's
+  job/result/heartbeat vocabulary lives in :mod:`repro.farm.remote`).
+* ``seq`` — per-direction counter starting at 1.  TCP already delivers
+  in order, so the receiver treats ``seq <= last`` as a duplicate (our
+  own chaos layer re-sends messages with fresh seqs, so frame-level
+  duplicates only appear under genuine transport weirdness) and any gap
+  as corruption: both endpoints would rather reset the link than guess.
+* ``ack`` — the highest ``seq`` this endpoint has delivered from its
+  peer; carried on every frame so either side can see how much of what
+  it sent has definitely arrived (:attr:`FrameStream.unacked`).
+* ``sum`` — a truncated SHA-256 of the canonical JSON encoding of
+  ``body``.  JSON round-trips values exactly, so the receiver re-derives
+  the canonical encoding and compares; a mismatch is a corrupt frame.
+
+:class:`FrameStream` wraps a connected socket with this framing.  Reads
+keep partial data in an internal buffer, so a socket timeout mid-frame
+(used by both endpoints as a liveness watchdog) is resumable — the next
+:meth:`FrameStream.recv` continues where the last one stopped instead of
+desynchronizing the stream.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import socket
+import struct
+import threading
+
+from repro.farm.transport import FarmError
+
+#: bump only for incompatible framing changes; carried in the hello frame
+FRAME_FORMAT_VERSION = 1
+
+#: hard upper bound on one frame (a checkpoint envelope for the largest
+#: bundled workload is ~1 MiB; anything near this is corruption)
+MAX_FRAME_BYTES = 64 * 1024 * 1024
+
+_LEN = struct.Struct(">I")
+_CHUNK = 65536
+
+
+class FrameError(FarmError):
+    """A malformed frame: bad checksum, sequence gap, oversize, not JSON."""
+
+
+class LinkClosed(FrameError):
+    """The peer closed the connection (clean EOF mid-stream)."""
+
+
+def canonical(body: dict) -> bytes:
+    """The canonical JSON encoding checksums are computed over."""
+    return json.dumps(body, sort_keys=True, separators=(",", ":")).encode()
+
+
+def checksum(payload: bytes) -> str:
+    return hashlib.sha256(payload).hexdigest()[:16]
+
+
+class FrameStream:
+    """Framed, checksummed, seq/ack-stamped messaging over one socket.
+
+    ``send`` is internally locked (the agent's executor, heartbeat, and
+    control threads share one outbound stream); ``recv`` must only be
+    called from one thread (each endpoint has a single reader).
+    """
+
+    def __init__(self, sock: socket.socket):
+        self._sock = sock
+        self._buf = bytearray()
+        self._want: int | None = None  # current frame's length, once read
+        self._send_lock = threading.Lock()
+        self.send_seq = 0
+        self.recv_seq = 0
+        self.peer_ack = 0
+        self.dups_dropped = 0
+
+    @property
+    def unacked(self) -> int:
+        """Frames sent that the peer has not yet acknowledged."""
+        return self.send_seq - self.peer_ack
+
+    # -- sending ---------------------------------------------------------------
+
+    def send(self, body: dict) -> None:
+        payload = canonical(body)
+        with self._send_lock:
+            self.send_seq += 1
+            frame = canonical({
+                "ack": self.recv_seq,
+                "body": body,
+                "seq": self.send_seq,
+                "sum": checksum(payload),
+            })
+            self._sock.sendall(_LEN.pack(len(frame)) + frame)
+
+    # -- receiving -------------------------------------------------------------
+
+    def _take(self, n: int) -> bytes:
+        """Exactly ``n`` bytes, buffering partial reads across timeouts."""
+        while len(self._buf) < n:
+            chunk = self._sock.recv(_CHUNK)
+            if not chunk:
+                raise LinkClosed("peer closed the connection")
+            self._buf += chunk
+        out = bytes(self._buf[:n])
+        del self._buf[:n]
+        return out
+
+    def recv(self) -> dict:
+        """The next in-sequence body; skips duplicates, raises on damage.
+
+        Raises :class:`LinkClosed` on EOF, :class:`FrameError` on a bad
+        checksum / sequence gap / oversize frame, and lets the socket's
+        timeout (``TimeoutError``) propagate without losing stream state.
+        """
+        while True:
+            if self._want is None:
+                (self._want,) = _LEN.unpack(self._take(4))
+                if self._want > MAX_FRAME_BYTES:
+                    raise FrameError(
+                        f"oversize frame ({self._want} bytes); corrupt link")
+            raw = self._take(self._want)
+            self._want = None
+            try:
+                frame = json.loads(raw)
+                body = frame["body"]
+                seq = int(frame["seq"])
+                declared = frame["sum"]
+            except (ValueError, KeyError, TypeError) as exc:
+                raise FrameError(f"undecodable frame: {exc}") from exc
+            if checksum(canonical(body)) != declared:
+                raise FrameError(f"checksum mismatch on frame seq={seq}")
+            self.peer_ack = max(self.peer_ack, int(frame.get("ack", 0)))
+            if seq <= self.recv_seq:
+                self.dups_dropped += 1
+                continue
+            if seq != self.recv_seq + 1:
+                raise FrameError(
+                    f"sequence gap: expected {self.recv_seq + 1}, got {seq}")
+            self.recv_seq = seq
+            return body
+
+    def close(self) -> None:
+        try:
+            self._sock.close()
+        except OSError:  # pragma: no cover - close races are benign
+            pass

@@ -1,0 +1,775 @@
+"""The multi-host farm backend: a TCP socket transport plus worker agent.
+
+:class:`SocketTransport` implements the farm's transport interface
+(``start/send/recv/stop/alive`` plus preemption) over TCP, so
+:func:`repro.farm.coordinator.run_farm` drives remote hosts exactly like
+local processes.  The matching host-side entry point is
+:func:`worker_agent` (``repro farm-worker --connect HOST:PORT``), which
+executes jobs through the very same dispatch table
+(:func:`repro.farm.worker.execute_job`) the local transports use — so
+farmed reports stay byte-identical to ``--jobs 1`` no matter where the
+jobs physically ran.
+
+Crossing a real network replaces the local transports' ground truth
+(``Process.is_alive``) with *evidence*, and the hardening reflects that:
+
+* **frames** — every message is a length-prefixed, checksummed,
+  seq/ack-stamped JSON frame (:mod:`repro.farm.frames`); a damaged or
+  out-of-sequence frame resets the link rather than guessing.
+* **heartbeats + watchdog** — agents send a heartbeat (listing the job
+  indices they are running) every ``heartbeat`` seconds, the coordinator
+  heartbeats back, and either side declares the link dead after
+  ``watchdog`` seconds of silence.  ``alive(wid)`` is that verdict.
+* **leases** — each dispatched job holds a lease that only heartbeats
+  naming the job renew.  A silent host — or a host whose heartbeats stop
+  naming a job it was given — forfeits the lease, and the coordinator
+  requeues the job exactly like a local worker crash (resuming from the
+  job's last streamed checkpoint envelope when one exists: checkpoint
+  *migration*, since any other host can finish the run bit-identically).
+* **incarnations** — a reconnecting agent presents a strictly larger
+  session incarnation (mirroring the in-simulator incarnation fence of
+  :mod:`repro.recovery.crash`).  Results are stamped with the
+  incarnation under which their job was received; the ledger drops
+  stamps that do not match the current session *and* the job's lease, so
+  a rejoining host can never deliver ghost results.
+* **reconnect** — agents retry with capped exponential backoff and give
+  up only after ``connect_timeout`` seconds without a coordinator.
+
+All lease/incarnation/liveness bookkeeping lives in :class:`HostLedger`,
+a pure state machine (no sockets, no clocks — every method takes ``now``)
+so the failure semantics are directly property-testable
+(``tests/farm/test_lease_machine.py``).
+"""
+
+from __future__ import annotations
+
+import itertools
+import os
+import queue
+import socket
+import threading
+import time
+from dataclasses import dataclass, field
+
+from repro.farm.frames import (
+    FRAME_FORMAT_VERSION,
+    FrameError,
+    FrameStream,
+    LinkClosed,
+)
+from repro.farm.jobs import FarmJob
+from repro.farm.transport import FarmError
+from repro.obs.events import EventKind
+
+#: agent -> coordinator (and back) heartbeat period, seconds
+HEARTBEAT_SECONDS = 0.5
+#: silence longer than this marks the peer dead
+WATCHDOG_SECONDS = 3.0
+#: a dispatched job must be re-confirmed by a heartbeat this often
+LEASE_SECONDS = 6.0
+
+
+class AgentKilled(BaseException):
+    """Test hook: raised inside a job to simulate the agent dying silently.
+
+    A ``BaseException`` so the agent's job-level ``except Exception``
+    (which reports job bugs as error frames) cannot swallow it — the
+    agent drops its connection without a word, exactly like a kill -9.
+    """
+
+
+# -- the lease / incarnation ledger (pure state machine) -----------------------
+
+
+@dataclass
+class _Session:
+    """One host's current (or last known) attachment to a worker slot."""
+
+    host: str
+    inc: int
+    last_seen: float
+    connected: bool = True
+    running: frozenset = frozenset()
+
+
+@dataclass
+class _Lease:
+    """One in-flight job's claim: who may deliver it, and until when."""
+
+    slot: int
+    inc: int
+    deadline: float
+
+
+class HostLedger:
+    """Who is alive, who owns which job, and which results are genuine.
+
+    Pure bookkeeping — every method takes ``now`` explicitly and touches
+    no I/O — shared by :class:`SocketTransport` (driven by real time and
+    real frames) and the Hypothesis suite (driven by synthetic traces).
+    """
+
+    def __init__(self, n_slots: int, *, watchdog: float = WATCHDOG_SECONDS,
+                 lease: float = LEASE_SECONDS):
+        self.n_slots = n_slots
+        self.watchdog = watchdog
+        self.lease = lease
+        self.sessions: dict[int, _Session] = {}
+        self.leases: dict[int, _Lease] = {}  # job index -> lease
+        self.ghosts = 0  # results fenced for a stale incarnation / lost lease
+
+    # -- sessions --------------------------------------------------------------
+
+    def claim_slot(self, host: str, inc: int, now: float) -> int | None:
+        """Attach ``host`` (session incarnation ``inc``) to a worker slot.
+
+        A returning host reclaims its previous slot, but only with a
+        strictly larger incarnation — a stale duplicate session is
+        refused (None).  Its old leases are expired on the spot so the
+        coordinator reclaims the jobs immediately instead of waiting out
+        the lease clock.  New hosts take the lowest free slot, then the
+        lowest watchdog-dead slot; a full, healthy farm refuses extras.
+        """
+        for slot, session in sorted(self.sessions.items()):
+            if session.host == host:
+                if inc <= session.inc:
+                    return None
+                self._expire_slot_leases(slot, now)
+                self.sessions[slot] = _Session(host, inc, now)
+                return slot
+        free = [s for s in range(self.n_slots) if s not in self.sessions]
+        if not free:
+            free = [s for s in range(self.n_slots)
+                    if not self.alive(s, now)]
+            if not free:
+                return None
+            self._expire_slot_leases(free[0], now)
+        slot = free[0]
+        self.sessions[slot] = _Session(host, inc, now)
+        return slot
+
+    def disconnect(self, slot: int, now: float) -> None:
+        """The slot's connection dropped; leases keep ticking toward expiry."""
+        session = self.sessions.get(slot)
+        if session is not None:
+            session.connected = False
+
+    def reset_slot(self, slot: int) -> None:
+        """Forget the slot entirely (coordinator respawn: jobs already
+        requeued, the slot now awaits a fresh or returning host)."""
+        self.sessions.pop(slot, None)
+        for job in [j for j, l in self.leases.items() if l.slot == slot]:
+            del self.leases[job]
+
+    def frame_seen(self, slot: int, now: float) -> None:
+        session = self.sessions.get(slot)
+        if session is not None:
+            session.last_seen = now
+
+    def heartbeat(self, slot: int, running, now: float) -> None:
+        """A heartbeat renews exactly the leases it names (current inc only)."""
+        session = self.sessions.get(slot)
+        if session is None:
+            return
+        session.last_seen = now
+        session.running = frozenset(int(j) for j in running)
+        for job, lease in self.leases.items():
+            if (lease.slot == slot and lease.inc == session.inc
+                    and job in session.running):
+                lease.deadline = now + self.lease
+
+    # -- leases ----------------------------------------------------------------
+
+    def dispatch(self, slot: int, job: int, now: float, *,
+                 lost: bool = False) -> None:
+        """Record a job send; ``lost`` means the frame never made it out,
+        so the lease is born expired and the next sweep reclaims it."""
+        session = self.sessions.get(slot)
+        inc = session.inc if session is not None else -1
+        deadline = now if (lost or session is None) else now + self.lease
+        self.leases[job] = _Lease(slot, inc, deadline)
+
+    def complete(self, job: int) -> None:
+        self.leases.pop(job, None)
+
+    def admit(self, slot: int, inc: int, job: int) -> bool:
+        """May a message stamped (slot, inc) speak for ``job``?
+
+        True only when the job's lease names this slot under this
+        incarnation *and* that incarnation is still the slot's current
+        session — anything else is a ghost and is counted as such.
+        """
+        lease = self.leases.get(job)
+        session = self.sessions.get(slot)
+        ok = (lease is not None and session is not None
+              and lease.slot == slot and lease.inc == inc
+              and session.inc == inc)
+        if not ok:
+            self.ghosts += 1
+        return ok
+
+    def expired_jobs(self, now: float) -> list[tuple[int, int]]:
+        """Pop and return ``(slot, job)`` for every lease past its deadline."""
+        out = sorted(
+            (lease.slot, job) for job, lease in self.leases.items()
+            if lease.deadline <= now
+        )
+        for _, job in out:
+            del self.leases[job]
+        return out
+
+    def _expire_slot_leases(self, slot: int, now: float) -> None:
+        for lease in self.leases.values():
+            if lease.slot == slot:
+                lease.deadline = now
+
+    # -- liveness --------------------------------------------------------------
+
+    def alive(self, slot: int, now: float) -> bool:
+        session = self.sessions.get(slot)
+        return (session is not None and session.connected
+                and now - session.last_seen <= self.watchdog)
+
+    def connected(self, now: float) -> int:
+        return sum(1 for s in self.sessions if self.alive(s, now))
+
+
+# -- the coordinator-side socket transport -------------------------------------
+
+
+@dataclass
+class _Link:
+    """One live agent connection."""
+
+    sock: socket.socket
+    stream: FrameStream
+    slot: int
+    host: str
+    inc: int
+
+
+class SocketTransport:
+    """The coordinator's side of the multi-host farm, over TCP.
+
+    Implements the same interface as the local transports; remote hosts
+    attach by running ``repro farm-worker --connect HOST:PORT``.  Unlike
+    a local pool the transport cannot conjure replacement workers
+    (``can_respawn`` is False): ``respawn(wid)`` merely frees the slot
+    for a (re)connecting agent, and if every host stays lost for
+    ``degrade_after`` seconds the coordinator falls back to a local
+    transport with ``fallback_local`` workers (0 disables the fallback
+    and fails the farm instead).
+    """
+
+    can_respawn = False
+
+    def __init__(self, n_workers: int, bind: str = "127.0.0.1",
+                 port: int = 0, *, heartbeat: float = HEARTBEAT_SECONDS,
+                 watchdog: float = WATCHDOG_SECONDS,
+                 lease: float = LEASE_SECONDS,
+                 accept_timeout: float = 120.0,
+                 fallback_local: int = 1,
+                 degrade_after: float = 10.0,
+                 tracer=None):
+        if n_workers < 1:
+            raise ValueError(f"n_workers must be >= 1, got {n_workers}")
+        self.n_workers = n_workers
+        self.heartbeat = heartbeat
+        self.watchdog = watchdog
+        self.accept_timeout = accept_timeout
+        self.fallback_local = fallback_local
+        self.degrade_after = degrade_after
+        self._tracer = tracer
+        self._t0 = time.monotonic()
+        self._ledger = HostLedger(n_workers, watchdog=watchdog, lease=lease)
+        self._lock = threading.RLock()
+        self._links: dict[int, _Link] = {}
+        self._inbox: queue.Queue = queue.Queue()
+        self._stopping = False
+        self._stopped = False
+        self._server = socket.create_server((bind, port))
+        self.host, self.port = self._server.getsockname()[:2]
+
+    @property
+    def ledger(self) -> HostLedger:
+        return self._ledger
+
+    def _emit(self, kind: str, node=None, **attrs) -> None:
+        if self._tracer is not None and self._tracer.enabled:
+            self._tracer.emit(kind, time.monotonic() - self._t0,
+                              node=node, **attrs)
+
+    # -- lifecycle -------------------------------------------------------------
+
+    def start(self, worker_main) -> None:
+        """Accept agents until all ``n_workers`` slots are filled.
+
+        ``worker_main`` is ignored — remote agents run their own loop on
+        their own hosts.  Raises :class:`FarmError` if the farm cannot
+        assemble within ``accept_timeout`` seconds.
+        """
+        self._server.settimeout(0.2)
+        threading.Thread(target=self._accept_loop, daemon=True,
+                         name="repro-farm-accept").start()
+        threading.Thread(target=self._heartbeat_loop, daemon=True,
+                         name="repro-farm-hb").start()
+        deadline = time.monotonic() + self.accept_timeout
+        while True:
+            with self._lock:
+                up = self._ledger.connected(time.monotonic())
+            if up >= self.n_workers:
+                return
+            if time.monotonic() > deadline:
+                self.stop()
+                raise FarmError(
+                    f"only {up} of {self.n_workers} worker agent(s) "
+                    f"connected to {self.host}:{self.port} within "
+                    f"{self.accept_timeout:g}s"
+                )
+            time.sleep(0.05)
+
+    def stop(self) -> None:
+        if self._stopped:
+            return
+        self._stopping = True
+        self._stopped = True
+        with self._lock:
+            links = list(self._links.values())
+        for link in links:
+            try:
+                link.stream.send({"type": "stop"})
+            except (OSError, FrameError):
+                pass
+        time.sleep(min(0.2, self.heartbeat))
+        for link in links:
+            link.stream.close()
+        try:
+            self._server.close()
+        except OSError:  # pragma: no cover
+            pass
+
+    # -- accept / per-link reader threads --------------------------------------
+
+    def _accept_loop(self) -> None:
+        while not self._stopping:
+            try:
+                sock, _addr = self._server.accept()
+            except socket.timeout:
+                continue
+            except OSError:
+                return
+            threading.Thread(target=self._serve, args=(sock,),
+                             daemon=True).start()
+
+    def _serve(self, sock: socket.socket) -> None:
+        sock.settimeout(self.watchdog + 2 * self.heartbeat)
+        stream = FrameStream(sock)
+        try:
+            hello = stream.recv()
+        except (FrameError, OSError, TimeoutError):
+            stream.close()
+            return
+        if (hello.get("type") != "hello"
+                or hello.get("frames") != FRAME_FORMAT_VERSION):
+            stream.close()
+            return
+        host, inc = str(hello["host"]), int(hello["inc"])
+        now = time.monotonic()
+        with self._lock:
+            slot = self._ledger.claim_slot(host, inc, now)
+            old = self._links.pop(slot, None) if slot is not None else None
+        if slot is None:
+            try:
+                stream.send({"type": "unwelcome"})
+            except (OSError, FrameError):
+                pass
+            stream.close()
+            return
+        if old is not None:
+            old.stream.close()  # superseded session; its reader unwinds
+        link = _Link(sock, stream, slot, host, inc)
+        with self._lock:
+            self._links[slot] = link
+        try:
+            stream.send({"type": "welcome", "slot": slot,
+                         "heartbeat": self.heartbeat,
+                         "watchdog": self.watchdog})
+        except (OSError, FrameError):
+            self._drop_link(link)
+            return
+        self._emit(EventKind.FARM_LINK_UP, node=slot, host=host, inc=inc)
+        self._read_loop(link)
+
+    def _read_loop(self, link: _Link) -> None:
+        while not self._stopping:
+            try:
+                body = link.stream.recv()
+            except (FrameError, OSError, TimeoutError):
+                break
+            now = time.monotonic()
+            kind = body.get("type")
+            with self._lock:
+                if self._links.get(link.slot) is not link:
+                    return  # superseded by a newer session; no cleanup
+                self._ledger.frame_seen(link.slot, now)
+                if kind == "hb":
+                    self._ledger.heartbeat(
+                        link.slot, body.get("running", ()), now)
+                    continue
+                if kind in ("result", "preempted", "progress", "error"):
+                    job = int(body["job"])
+                    inc = int(body.get("inc", -1))
+                    if not self._ledger.admit(link.slot, inc, job):
+                        self._emit(EventKind.FARM_LINK_GHOST, node=link.slot,
+                                   job=job, inc=inc, msg=kind)
+                        continue
+                    if kind in ("result", "preempted"):
+                        self._ledger.complete(job)
+                    self._inbox.put((kind, link.slot, job,
+                                     body.get("payload")))
+                    continue
+                if kind == "bye":
+                    break
+        self._drop_link(link)
+
+    def _drop_link(self, link: _Link) -> None:
+        with self._lock:
+            if self._links.get(link.slot) is link:
+                del self._links[link.slot]
+                self._ledger.disconnect(link.slot, time.monotonic())
+                self._emit(EventKind.FARM_LINK_DOWN, node=link.slot,
+                           host=link.host, inc=link.inc)
+        link.stream.close()
+
+    def _heartbeat_loop(self) -> None:
+        while not self._stopping:
+            time.sleep(self.heartbeat)
+            with self._lock:
+                links = list(self._links.values())
+            for link in links:
+                try:
+                    link.stream.send({"type": "hb"})
+                except (OSError, FrameError):
+                    link.stream.close()  # reader notices and unwinds
+
+    # -- transport interface ---------------------------------------------------
+
+    def send(self, wid: int, message: tuple) -> None:
+        if message[0] == "stop":
+            with self._lock:
+                link = self._links.get(wid)
+            if link is not None:
+                try:
+                    link.stream.send({"type": "stop"})
+                except (OSError, FrameError):
+                    pass
+            return
+        job: FarmJob = message[1]
+        now = time.monotonic()
+        with self._lock:
+            link = self._links.get(wid)
+            self._ledger.dispatch(wid, job.index, now, lost=link is None)
+        if link is None:
+            return
+        try:
+            link.stream.send({"type": "job", "job": {
+                "index": job.index, "kind": job.kind,
+                "params": job.params, "preemptible": job.preemptible,
+            }})
+        except (OSError, FrameError):
+            with self._lock:
+                self._ledger.dispatch(wid, job.index, time.monotonic(),
+                                      lost=True)
+
+    def note_lost_dispatch(self, wid: int, job_index: int) -> None:
+        """Record a dispatch whose frame was dropped before the wire (the
+        chaos wrapper): the lease is born expired, so the job requeues."""
+        with self._lock:
+            self._ledger.dispatch(wid, job_index, time.monotonic(),
+                                  lost=True)
+
+    def recv(self, timeout: float = 0.2):
+        try:
+            return self._inbox.get(timeout=timeout)
+        except queue.Empty:
+            return None
+
+    def alive(self, wid: int) -> bool:
+        with self._lock:
+            return self._ledger.alive(wid, time.monotonic())
+
+    def respawn(self, wid: int) -> None:
+        """Free the slot for a returning/fresh agent (no process to spawn)."""
+        with self._lock:
+            link = self._links.pop(wid, None)
+            self._ledger.reset_slot(wid)
+        if link is not None:
+            link.stream.close()
+
+    def reclaim_expired(self) -> list[tuple[int, int]]:
+        """(wid, job) pairs whose leases lapsed; each is reported once."""
+        with self._lock:
+            return self._ledger.expired_jobs(time.monotonic())
+
+    def force_disconnect(self, wid: int) -> None:
+        """Abruptly sever one agent's link (chaos injection)."""
+        with self._lock:
+            link = self._links.get(wid)
+        if link is not None:
+            link.stream.close()
+
+    # -- preemption ------------------------------------------------------------
+
+    def _control(self, wid: int, kind: str) -> None:
+        with self._lock:
+            link = self._links.get(wid)
+        if link is not None:
+            try:
+                link.stream.send({"type": kind})
+            except (OSError, FrameError):
+                pass
+
+    def preempt(self, wid: int) -> None:
+        self._control(wid, "preempt")
+
+    def clear_preempt(self, wid: int) -> None:
+        self._control(wid, "clear-preempt")
+
+
+# -- the host-side worker agent ------------------------------------------------
+
+_agent_labels = itertools.count()
+
+#: test hook: called with (job, envelope) after an agent streams a
+#: checkpoint envelope upstream; lets tests kill an agent at the exact
+#: moment crash-resume state exists (see AgentKilled)
+_after_stream_hook = None
+
+_STOP = object()
+
+
+class _AgentControl:
+    """Per-job preemption/streaming context inside a remote agent."""
+
+    def __init__(self, agent: "_Agent", job: FarmJob, inc: int):
+        self._agent = agent
+        self._job = job
+        self._inc = inc
+
+    def should_preempt(self) -> bool:
+        return self._agent.preempt_flag.is_set()
+
+    def stream(self, envelope) -> None:
+        self._agent.post("progress", self._job.index, self._inc, envelope)
+        if _after_stream_hook is not None:
+            _after_stream_hook(self._job, envelope)
+
+
+class _Agent:
+    """One worker agent: connect, execute, heartbeat, reconnect, repeat."""
+
+    def __init__(self, host: str, port: int, *, heartbeat: float,
+                 watchdog: float, backoff_cap: float,
+                 connect_timeout: float, label: str | None,
+                 progress=None):
+        self.coord = (host, port)
+        self.heartbeat = heartbeat
+        self.watchdog = watchdog
+        self.backoff_cap = backoff_cap
+        self.connect_timeout = connect_timeout
+        self.label = label or (f"{socket.gethostname()}-{os.getpid()}"
+                               f"-{next(_agent_labels)}")
+        self.progress = progress or (lambda line: None)
+        self.inc = 0
+        self.preempt_flag = threading.Event()
+        self.jobs: queue.Queue = queue.Queue()
+        self.running: dict[int, int] = {}  # job index -> inc at receipt
+        self._stream: FrameStream | None = None
+        self._stream_lock = threading.Lock()
+        self.dead = False  # set by AgentKilled: stop without a word
+
+    # -- outbound --------------------------------------------------------------
+
+    def post(self, kind: str, job_index: int, inc: int, payload) -> None:
+        """Best-effort send on the current session (drops when detached)."""
+        with self._stream_lock:
+            stream = self._stream
+        if stream is None:
+            return
+        try:
+            stream.send({"type": kind, "job": job_index, "inc": inc,
+                         "payload": payload})
+        except (OSError, FrameError):
+            pass
+
+    def _attach(self, stream: FrameStream | None) -> None:
+        with self._stream_lock:
+            self._stream = stream
+
+    # -- executor thread -------------------------------------------------------
+
+    def _executor(self) -> None:
+        from repro.farm.worker import execute_job
+
+        while True:
+            item = self.jobs.get()
+            if item is _STOP or self.dead:
+                return
+            job, inc = item
+            try:
+                payload = execute_job(job, _AgentControl(self, job, inc))
+            except AgentKilled:
+                self.die()
+                return
+            except Exception as exc:
+                import traceback
+
+                self.post("error", job.index, inc,
+                          f"{type(exc).__name__}: {exc}\n"
+                          f"{traceback.format_exc().rstrip()}")
+                self.running.pop(job.index, None)
+                continue
+            if (isinstance(payload, tuple) and payload
+                    and payload[0] == "preempted"):
+                self.post("preempted", job.index, inc, payload[1])
+            else:
+                self.post("result", job.index, inc, payload)
+            self.running.pop(job.index, None)
+
+    # -- heartbeat thread ------------------------------------------------------
+
+    def _heartbeater(self) -> None:
+        while not self.dead:
+            time.sleep(self.heartbeat)
+            with self._stream_lock:
+                stream = self._stream
+            if stream is None:
+                continue
+            try:
+                stream.send({"type": "hb",
+                             "running": sorted(self.running)})
+            except (OSError, FrameError):
+                pass
+
+    def die(self) -> None:
+        """Silent death (test hook): drop the link, never reconnect."""
+        self.dead = True
+        with self._stream_lock:
+            stream, self._stream = self._stream, None
+        if stream is not None:
+            stream.close()
+
+    # -- main loop -------------------------------------------------------------
+
+    def run(self) -> int:
+        threading.Thread(target=self._executor, daemon=True,
+                         name=f"repro-agent-exec-{self.label}").start()
+        threading.Thread(target=self._heartbeater, daemon=True,
+                         name=f"repro-agent-hb-{self.label}").start()
+        backoff = 0.25
+        give_up = time.monotonic() + self.connect_timeout
+        try:
+            while not self.dead:
+                try:
+                    sock = socket.create_connection(self.coord, timeout=2.0)
+                except OSError:
+                    if time.monotonic() > give_up:
+                        self.progress(f"[agent {self.label}] no coordinator "
+                                      f"within {self.connect_timeout:g}s")
+                        return 1
+                    time.sleep(backoff)
+                    backoff = min(backoff * 2, self.backoff_cap)
+                    continue
+                backoff = 0.25
+                self.inc += 1
+                outcome = self._session(sock)
+                give_up = time.monotonic() + self.connect_timeout
+                if outcome == "stop" or self.dead:
+                    return 0
+            return 0
+        finally:
+            self.jobs.put(_STOP)
+
+    def _session(self, sock: socket.socket) -> str:
+        sock.settimeout(self.watchdog + 2 * self.heartbeat)
+        stream = FrameStream(sock)
+        try:
+            stream.send({"type": "hello", "host": self.label,
+                         "inc": self.inc,
+                         "frames": FRAME_FORMAT_VERSION})
+            welcome = stream.recv()
+        except (OSError, FrameError, TimeoutError):
+            stream.close()
+            return "retry"
+        if welcome.get("type") != "welcome":
+            stream.close()
+            time.sleep(self.heartbeat)
+            return "retry"
+        self.preempt_flag.clear()
+        self._attach(stream)
+        self.progress(f"[agent {self.label}] attached as worker "
+                      f"{welcome['slot']} (incarnation {self.inc})")
+        try:
+            while not self.dead:
+                try:
+                    body = stream.recv()
+                except (OSError, FrameError, TimeoutError):
+                    return "retry"
+                kind = body.get("type")
+                if kind == "job":
+                    rec = body["job"]
+                    job = FarmJob(index=int(rec["index"]),
+                                  kind=rec["kind"],
+                                  params=rec.get("params", {}),
+                                  preemptible=bool(rec.get("preemptible")))
+                    self.running[job.index] = self.inc
+                    self.jobs.put((job, self.inc))
+                elif kind == "preempt":
+                    self.preempt_flag.set()
+                elif kind == "clear-preempt":
+                    self.preempt_flag.clear()
+                elif kind == "stop":
+                    try:
+                        stream.send({"type": "bye"})
+                    except (OSError, FrameError):
+                        pass
+                    return "stop"
+                # "hb" frames only need the read itself (liveness)
+            return "stop"
+        finally:
+            self._attach(None)
+            stream.close()
+            # undispatched jobs of this session are the coordinator's to
+            # reclaim; drop them so the executor never runs stale work
+            drained = []
+            try:
+                while True:
+                    drained.append(self.jobs.get_nowait())
+            except queue.Empty:
+                pass
+            for item in drained:
+                if item is _STOP:
+                    self.jobs.put(_STOP)
+                else:
+                    # keep heartbeats truthful: a job this session never
+                    # started is not running (re-added if redispatched)
+                    self.running.pop(item[0].index, None)
+
+
+def worker_agent(host: str, port: int, *,
+                 heartbeat: float = HEARTBEAT_SECONDS,
+                 watchdog: float = WATCHDOG_SECONDS,
+                 backoff_cap: float = 8.0,
+                 connect_timeout: float = 120.0,
+                 label: str | None = None,
+                 progress=None) -> int:
+    """Run one farm worker agent against a coordinator at (host, port).
+
+    The ``repro farm-worker --connect`` entry point; also runnable in a
+    thread (the loopback tests do).  Returns 0 after a clean ``stop``
+    from the coordinator, 1 when no coordinator could be reached for
+    ``connect_timeout`` seconds.
+    """
+    return _Agent(host, port, heartbeat=heartbeat, watchdog=watchdog,
+                  backoff_cap=backoff_cap, connect_timeout=connect_timeout,
+                  label=label, progress=progress).run()

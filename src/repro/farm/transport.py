@@ -51,12 +51,21 @@ def _mp_context():
 
 
 class LocalProcessTransport:
-    """A local worker pool over multiprocessing queues."""
+    """A local worker pool over multiprocessing queues.
 
-    def __init__(self, n_workers: int):
+    ``stop_grace``/``kill_grace`` bound shutdown: a worker that ignores
+    the stop message gets SIGTERM after ``stop_grace`` seconds, and one
+    that ignores SIGTERM too gets SIGKILL after ``kill_grace`` more —
+    ``stop()`` never leaves a live child behind.
+    """
+
+    def __init__(self, n_workers: int, *, stop_grace: float = 10.0,
+                 kill_grace: float = 5.0):
         if n_workers < 1:
             raise ValueError(f"n_workers must be >= 1, got {n_workers}")
         self.n_workers = n_workers
+        self.stop_grace = stop_grace
+        self.kill_grace = kill_grace
         self._ctx = _mp_context()
         self._result_q = self._ctx.Queue()
         self._job_qs = [self._ctx.Queue() for _ in range(n_workers)]
@@ -96,10 +105,15 @@ class LocalProcessTransport:
                 self._job_qs[wid].put(("stop",))
         for proc in self._procs:
             if proc is not None:
-                proc.join(timeout=10.0)
-                if proc.is_alive():  # pragma: no cover - stuck worker
+                proc.join(timeout=self.stop_grace)
+                if proc.is_alive():
                     proc.terminate()
-                    proc.join(timeout=5.0)
+                    proc.join(timeout=self.kill_grace)
+                if proc.is_alive():
+                    # SIGTERM ignored (masked handler, wedged in C code):
+                    # escalate to SIGKILL rather than leak a zombie
+                    proc.kill()
+                    proc.join(timeout=self.kill_grace)
 
     # -- messaging -------------------------------------------------------------
 
@@ -176,8 +190,12 @@ class InlineTransport:
         try:
             payload = execute_job(job, control)
         except Exception as exc:  # mirror the process worker's catch-all
+            import traceback
+
             self._inbox.append(
-                ("error", 0, job.index, f"{type(exc).__name__}: {exc}"))
+                ("error", 0, job.index,
+                 f"{type(exc).__name__}: {exc}\n"
+                 f"{traceback.format_exc().rstrip()}"))
             return
         if isinstance(payload, tuple) and payload[0] == "preempted":
             self._inbox.append(("preempted", 0, job.index, payload[1]))

@@ -86,10 +86,15 @@ def worker_main(wid: int, job_q, result_q, preempt_flag) -> None:
         try:
             payload = execute_job(job, control)
         except Exception as exc:
-            # a job-level exception is a bug, not a crash: report it and
-            # stay alive so the coordinator can fail fast with the message
+            # a job-level exception is a bug, not a crash: report it (with
+            # the full traceback — a farmed failure must be debuggable
+            # without a sequential rerun) and stay alive so the
+            # coordinator can fail fast with the message
+            import traceback
+
             result_q.put(("error", wid, job.index,
-                          f"{type(exc).__name__}: {exc}"))
+                          f"{type(exc).__name__}: {exc}\n"
+                          f"{traceback.format_exc().rstrip()}"))
             continue
         if isinstance(payload, tuple) and payload and payload[0] == "preempted":
             result_q.put(("preempted", wid, job.index, payload[1]))

@@ -467,7 +467,8 @@ def run_campaign(
     probe = ({"workload": workloads[0][2], "fast": fast}
              if check_unrecoverable and workloads else None)
 
-    if jobs > 1 and len(cells) + (1 if probe else 0) > 1:
+    if farm_transport is not None or (
+            jobs > 1 and len(cells) + (1 if probe else 0) > 1):
         from repro.farm.coordinator import run_farm
         from repro.farm.jobs import FarmJob
 

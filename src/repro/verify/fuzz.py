@@ -240,13 +240,16 @@ def fuzz(
     progress: Callable[[str], None] | None = None,
     jobs: int = 1,
     tracer=None,
+    farm_transport=None,
 ) -> FuzzReport:
     """Fuzz ``seeds`` workloads under adversarial interleavings.
 
     ``jobs > 1`` shards the seeds across a local worker farm
-    (:func:`repro.farm.coordinator.run_farm`); the folded report's
-    :meth:`~FuzzReport.to_dict` is byte-identical to the sequential one.
-    ``tracer`` (farm runs only) receives the farm's lifecycle events.
+    (:func:`repro.farm.coordinator.run_farm`); ``farm_transport``
+    overrides the farm backend (the multi-host socket transport).  The
+    folded report's :meth:`~FuzzReport.to_dict` is byte-identical to the
+    sequential one.  ``tracer`` (farm runs only) receives the farm's
+    lifecycle events.
     """
     report = FuzzReport(protocols=tuple(protocols) if protocols else ALL_PROTOCOLS)
     t0 = time.perf_counter()
@@ -254,7 +257,7 @@ def fuzz(
         {"seed": seed, "protocols": list(report.protocols), "shrink": shrink}
         for seed in range(first_seed, first_seed + seeds)
     ]
-    if jobs > 1 and len(specs) > 1:
+    if farm_transport is not None or (jobs > 1 and len(specs) > 1):
         from repro.farm.coordinator import run_farm
         from repro.farm.jobs import FarmJob
 
@@ -262,6 +265,7 @@ def fuzz(
             [FarmJob(index=i, kind="fuzz-seed", params=spec)
              for i, spec in enumerate(specs)],
             n_workers=jobs, tracer=tracer, progress=progress,
+            transport=farm_transport,
         )
         results = [farm.results[i] for i in range(len(specs))]
     else:

@@ -1,0 +1,125 @@
+"""ChaosTransport: seeded transport-fault injection that must never
+change a campaign's report.
+
+The unit tests drive the chaos draw against a recording fake; the
+integration test farms a fuzz campaign over loopback sockets with chaos
+armed and compares the report byte-for-byte against the sequential run —
+the tentpole acceptance criterion.
+"""
+
+import json
+import threading
+import time
+
+import pytest
+
+from repro.faults.plan import FaultPlan
+from repro.farm import ChaosTransport, FarmError, FarmJob, SocketTransport
+from repro.farm.chaos import DEFAULT_CHAOS_PLAN
+from repro.farm.remote import worker_agent
+from repro.verify.fuzz import fuzz
+
+
+class RecordingInner:
+    """A fake inner transport that records what chaos lets through."""
+
+    n_workers = 2
+    can_respawn = False
+
+    def __init__(self):
+        self.sent = []
+        self.lost = []
+        self.severed = []
+
+    def send(self, wid, message):
+        self.sent.append((wid, message[1].index))
+
+    def note_lost_dispatch(self, wid, job_index):
+        self.lost.append((wid, job_index))
+
+    def force_disconnect(self, wid):
+        self.severed.append(wid)
+
+    def reclaim_expired(self):
+        return []
+
+
+def jobs(n):
+    return [FarmJob(index=i, kind="fuzz-seed", params={}) for i in range(n)]
+
+
+def drive(plan, seed, n=120):
+    inner = RecordingInner()
+    chaos = ChaosTransport(inner, plan, seed=seed, delay_cap=0.01)
+    for job in jobs(n):
+        chaos.send(0, ("job", job))
+    time.sleep(0.1)  # let delay timers fire
+    return inner, chaos
+
+
+def test_chaos_draws_are_seed_deterministic():
+    plan = FaultPlan(name="t", drop_rate=0.2, dup_rate=0.2, delay_rate=0.2,
+                     crash_rate=0.1)
+    a_inner, a = drive(plan, seed=42)
+    b_inner, b = drive(plan, seed=42)
+    assert a_inner.lost == b_inner.lost
+    assert a_inner.severed == b_inner.severed
+    assert (a.drops, a.dups, a.delays, a.disconnects) \
+        == (b.drops, b.dups, b.delays, b.disconnects)
+    c_inner, c = drive(plan, seed=43)
+    assert (a.drops, a.dups, a.delays, a.disconnects) \
+        != (c.drops, c.dups, c.delays, c.disconnects)
+
+
+def test_every_effect_fires_and_accounts():
+    inner, chaos = drive(DEFAULT_CHAOS_PLAN, seed=1, n=400)
+    assert chaos.drops > 0 and chaos.dups > 0
+    assert chaos.delays > 0 and chaos.disconnects > 0
+    # every dropped dispatch was reported for lease accounting
+    assert len(inner.lost) == chaos.drops
+    assert len(inner.severed) == chaos.disconnects
+    # nothing simply vanished: sends + losses cover all draws (dups add
+    # an extra send each, delays land after the timer)
+    assert len(inner.sent) == 400 - chaos.drops + chaos.dups
+
+
+def test_control_messages_are_never_perturbed():
+    inner = RecordingInner()
+    inner.stopped = []
+    inner.send = lambda wid, m: inner.stopped.append(m)
+    chaos = ChaosTransport(inner, FaultPlan(name="t", drop_rate=1.0),
+                           seed=0)
+    chaos.send(0, ("stop",))
+    assert inner.stopped == [("stop",)]
+
+
+def test_drop_injection_requires_lease_accounting():
+    class NoAccounting:
+        n_workers = 1
+
+    with pytest.raises(FarmError, match="lost"):
+        ChaosTransport(NoAccounting(), FaultPlan(name="t", drop_rate=0.5))
+    # a drop-free plan is fine on such a transport
+    ChaosTransport(NoAccounting(), FaultPlan(name="t"))
+
+
+def test_fuzz_under_chaos_is_byte_identical_to_sequential():
+    seq = fuzz(seeds=6)
+    transport = SocketTransport(2, port=0, watchdog=1.5, lease=2.0,
+                                heartbeat=0.25)
+    chaos = ChaosTransport(transport, seed=7)
+    agents = [threading.Thread(
+        target=worker_agent, args=(transport.host, transport.port),
+        kwargs={"label": f"chaos-agent-{i}", "heartbeat": 0.25,
+                "watchdog": 1.5, "connect_timeout": 5.0}, daemon=True)
+        for i in range(2)]
+    for t in agents:
+        t.start()
+    par = fuzz(seeds=6, farm_transport=chaos)
+    assert json.dumps(par.to_dict(), sort_keys=True) \
+        == json.dumps(seq.to_dict(), sort_keys=True)
+    assert (chaos.drops + chaos.dups + chaos.delays
+            + chaos.disconnects) > 0, "chaos never fired; weaken the seed"
+    for t in agents:
+        t.join(timeout=10)
+        assert not t.is_alive()

@@ -1,0 +1,128 @@
+"""Wire framing (repro.farm.frames): length prefixes, checksums, seq/ack.
+
+All tests run over a local ``socketpair`` — the framing layer only sees a
+connected socket, so this exercises exactly what the farm link uses.
+"""
+
+import json
+import socket
+import struct
+
+import pytest
+
+from repro.farm.frames import (
+    MAX_FRAME_BYTES,
+    FrameError,
+    FrameStream,
+    LinkClosed,
+    canonical,
+    checksum,
+)
+
+
+@pytest.fixture()
+def pair():
+    a, b = socket.socketpair()
+    yield FrameStream(a), FrameStream(b)
+    a.close()
+    b.close()
+
+
+def test_round_trip_and_sequencing(pair):
+    tx, rx = pair
+    bodies = [{"type": "hb"}, {"type": "job", "job": {"index": 3}},
+              {"type": "result", "payload": {"x": [1, 2, {"y": None}]}}]
+    for body in bodies:
+        tx.send(body)
+    for body in bodies:
+        assert rx.recv() == body
+    assert rx.recv_seq == 3
+    assert tx.send_seq == 3
+
+
+def test_acks_flow_back(pair):
+    tx, rx = pair
+    tx.send({"n": 1})
+    tx.send({"n": 2})
+    assert tx.unacked == 2
+    rx.recv(), rx.recv()
+    rx.send({"type": "hb"})  # carries ack=2
+    tx.recv()
+    assert tx.unacked == 0
+
+
+def _raw_frame(body, seq, ack=0, declared_sum=None):
+    payload = canonical(body)
+    frame = canonical({
+        "ack": ack, "body": body, "seq": seq,
+        "sum": declared_sum if declared_sum is not None
+        else checksum(payload),
+    })
+    return struct.pack(">I", len(frame)) + frame
+
+
+def test_duplicate_seq_is_dropped(pair):
+    tx, rx = pair
+    raw = _raw_frame({"n": 1}, seq=1)
+    tx._sock.sendall(raw + raw + _raw_frame({"n": 2}, seq=2))
+    assert rx.recv() == {"n": 1}
+    assert rx.recv() == {"n": 2}  # the replayed seq=1 was skipped
+    assert rx.dups_dropped == 1
+
+
+def test_sequence_gap_is_an_error(pair):
+    tx, rx = pair
+    tx._sock.sendall(_raw_frame({"n": 1}, seq=1))
+    tx._sock.sendall(_raw_frame({"n": 3}, seq=3))
+    assert rx.recv() == {"n": 1}
+    with pytest.raises(FrameError, match="sequence gap"):
+        rx.recv()
+
+
+def test_checksum_mismatch_is_an_error(pair):
+    tx, rx = pair
+    tx._sock.sendall(_raw_frame({"n": 1}, seq=1, declared_sum="0" * 16))
+    with pytest.raises(FrameError, match="checksum"):
+        rx.recv()
+
+
+def test_undecodable_frame_is_an_error(pair):
+    tx, rx = pair
+    junk = b"not json at all"
+    tx._sock.sendall(struct.pack(">I", len(junk)) + junk)
+    with pytest.raises(FrameError, match="undecodable"):
+        rx.recv()
+
+
+def test_oversize_frame_is_an_error(pair):
+    tx, rx = pair
+    tx._sock.sendall(struct.pack(">I", MAX_FRAME_BYTES + 1))
+    with pytest.raises(FrameError, match="oversize"):
+        rx.recv()
+
+
+def test_eof_raises_link_closed(pair):
+    tx, rx = pair
+    tx.send({"n": 1})
+    tx._sock.close()
+    assert rx.recv() == {"n": 1}
+    with pytest.raises(LinkClosed):
+        rx.recv()
+
+
+def test_timeout_mid_frame_is_resumable(pair):
+    tx, rx = pair
+    raw = _raw_frame({"big": "x" * 2000}, seq=1)
+    rx._sock.settimeout(0.05)
+    tx._sock.sendall(raw[:100])  # partial frame, then silence
+    with pytest.raises((TimeoutError, socket.timeout)):
+        rx.recv()
+    tx._sock.sendall(raw[100:])
+    assert rx.recv() == {"big": "x" * 2000}
+
+
+def test_canonical_is_key_order_independent():
+    assert canonical({"b": 1, "a": 2}) == canonical({"a": 2, "b": 1})
+    body = json.loads(canonical({"a": [1, 2], "b": None}))
+    assert checksum(canonical(body)) == checksum(canonical({"b": None,
+                                                            "a": [1, 2]}))

@@ -1,0 +1,197 @@
+"""The lease/heartbeat/incarnation state machine (repro.farm.remote.HostLedger).
+
+The Hypothesis property drives a miniature coordinator over randomized
+traces of heartbeats, silences, disconnects, rejoins, lost dispatches,
+and stale deliveries — all against a virtual clock — and asserts the
+exactly-once contract the real coordinator relies on:
+
+* every job's result is accepted exactly once;
+* a result stamped with a stale incarnation (or arriving after its lease
+  was reclaimed) is never accepted;
+* no job is ever lost — whatever the trace did, a final drain with one
+  healthy host completes everything.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.farm.remote import HostLedger
+
+WATCHDOG = 3.0
+LEASE = 6.0
+HOSTS = ("alpha", "beta")
+N_SLOTS = 2
+N_JOBS = 5
+
+
+class MiniCoordinator:
+    """The coordinator's lease-facing logic, minus transports and threads."""
+
+    def __init__(self):
+        self.ledger = HostLedger(N_SLOTS, watchdog=WATCHDOG, lease=LEASE)
+        self.now = 0.0
+        self.queued = list(range(N_JOBS))
+        self.in_flight = {}  # job -> slot
+        self.accepted = {j: 0 for j in range(N_JOBS)}
+        self.incs = {h: 0 for h in HOSTS}
+        self.slots = {}  # host -> slot while connected
+
+    # -- trace operations ------------------------------------------------------
+
+    def tick(self, dt):
+        self.now += dt
+        self.reclaim()
+
+    def connect(self, host):
+        self.incs[host] += 1
+        slot = self.ledger.claim_slot(host, self.incs[host], self.now)
+        if slot is None:
+            self.incs[host] -= 1  # refused; the session never existed
+            return
+        # a slot takeover implicitly disconnects whoever held it
+        for other, s in list(self.slots.items()):
+            if s == slot and other != host:
+                del self.slots[other]
+        self.slots[host] = slot
+        self.reclaim()
+
+    def disconnect(self, host):
+        slot = self.slots.pop(host, None)
+        if slot is not None:
+            self.ledger.disconnect(slot, self.now)
+
+    def heartbeat(self, host, honest):
+        slot = self.slots.get(host)
+        if slot is None:
+            return
+        running = [j for j, s in self.in_flight.items() if s == slot]
+        if not honest:
+            running = []  # an amnesiac host stops naming its jobs
+        self.ledger.heartbeat(slot, running, self.now)
+
+    def dispatch(self, host, lost):
+        slot = self.slots.get(host)
+        if slot is None or not self.queued:
+            return
+        if not self.ledger.alive(slot, self.now):
+            return
+        job = self.queued.pop(0)
+        self.ledger.dispatch(slot, job, self.now, lost=lost)
+        self.in_flight[job] = slot
+
+    def deliver(self, host, stale_by):
+        """The host reports a result for one of its jobs, possibly under
+        an old incarnation (a ghost from before a reconnect)."""
+        slot = self.slots.get(host)
+        if slot is None:
+            return
+        mine = [j for j, s in self.in_flight.items() if s == slot]
+        if not mine:
+            return
+        job = mine[0]
+        inc = self.incs[host] - stale_by
+        ok = self.ledger.admit(slot, inc, job)
+        if ok:
+            assert stale_by == 0, (
+                f"stale incarnation {inc} accepted for job {job}")
+            self.ledger.complete(job)
+            assert self.in_flight.pop(job) == slot
+            self.accepted[job] += 1
+            assert self.accepted[job] == 1, f"job {job} accepted twice"
+
+    def reclaim(self):
+        for slot, job in self.ledger.expired_jobs(self.now):
+            if self.in_flight.get(job) == slot:
+                del self.in_flight[job]
+                self.queued.append(job)
+        self.queued.sort()
+
+
+OPS = st.one_of(
+    st.tuples(st.just("tick"), st.floats(0.1, 8.0)),
+    st.tuples(st.just("connect"), st.sampled_from(HOSTS)),
+    st.tuples(st.just("disconnect"), st.sampled_from(HOSTS)),
+    st.tuples(st.just("hb"), st.sampled_from(HOSTS), st.booleans()),
+    st.tuples(st.just("dispatch"), st.sampled_from(HOSTS), st.booleans()),
+    st.tuples(st.just("deliver"), st.sampled_from(HOSTS),
+              st.integers(0, 2)),
+)
+
+
+@settings(max_examples=200, deadline=None)
+@given(trace=st.lists(OPS, max_size=80))
+def test_exactly_once_under_randomized_traces(trace):
+    mini = MiniCoordinator()
+    for op in trace:
+        kind, *rest = op
+        if kind == "tick":
+            mini.tick(rest[0])
+        elif kind == "connect":
+            mini.connect(rest[0])
+        elif kind == "disconnect":
+            mini.disconnect(rest[0])
+        elif kind == "hb":
+            mini.heartbeat(*rest)
+        elif kind == "dispatch":
+            mini.dispatch(*rest)
+        elif kind == "deliver":
+            mini.deliver(*rest)
+        # the exactly-once invariant holds at every step, not just the end
+        assert all(n <= 1 for n in mini.accepted.values())
+
+    # drain: one healthy host finishes whatever the trace left behind
+    mini.tick(LEASE + 1.0)  # expire every stranded lease
+    mini.connect("alpha")
+    for _ in range(4 * N_JOBS):
+        if all(n == 1 for n in mini.accepted.values()):
+            break
+        mini.tick(0.5)
+        mini.heartbeat("alpha", True)
+        mini.dispatch("alpha", False)
+        mini.deliver("alpha", 0)
+    assert all(n == 1 for n in mini.accepted.values()), (
+        f"jobs lost: {mini.accepted}")
+
+
+# -- directed claim_slot edge cases -------------------------------------------
+
+
+def test_same_host_must_present_larger_incarnation():
+    ledger = HostLedger(2)
+    assert ledger.claim_slot("a", 1, 0.0) == 0
+    assert ledger.claim_slot("a", 1, 1.0) is None  # duplicate session
+    assert ledger.claim_slot("a", 0, 1.0) is None  # ancient session
+    assert ledger.claim_slot("a", 2, 1.0) == 0     # genuine reboot
+
+
+def test_reconnect_expires_old_leases_immediately():
+    ledger = HostLedger(1, lease=100.0)
+    ledger.claim_slot("a", 1, 0.0)
+    ledger.dispatch(0, 7, 0.0)
+    assert ledger.expired_jobs(1.0) == []
+    ledger.claim_slot("a", 2, 1.0)
+    assert ledger.expired_jobs(1.0) == [(0, 7)]
+
+
+def test_full_healthy_farm_refuses_extra_hosts():
+    ledger = HostLedger(1, watchdog=3.0)
+    assert ledger.claim_slot("a", 1, 0.0) == 0
+    assert ledger.claim_slot("b", 1, 1.0) is None  # a is alive
+    assert ledger.claim_slot("b", 1, 10.0) == 0    # a went silent
+
+
+def test_heartbeat_renews_only_named_jobs():
+    ledger = HostLedger(1, lease=2.0)
+    ledger.claim_slot("a", 1, 0.0)
+    ledger.dispatch(0, 1, 0.0)
+    ledger.dispatch(0, 2, 0.0)
+    ledger.heartbeat(0, [1], 1.5)  # job 2 is not named: lease keeps aging
+    assert ledger.expired_jobs(2.5) == [(0, 2)]
+    assert ledger.expired_jobs(4.0) == [(0, 1)]
+
+
+def test_lost_dispatch_lease_is_born_expired():
+    ledger = HostLedger(1)
+    ledger.claim_slot("a", 1, 0.0)
+    ledger.dispatch(0, 3, 5.0, lost=True)
+    assert ledger.expired_jobs(5.0) == [(0, 3)]

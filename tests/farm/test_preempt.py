@@ -63,6 +63,30 @@ def test_preempt_then_resume_is_bit_identical(chaos_reference):
     assert same_observables(obs, ref)
 
 
+def test_envelope_survives_the_farm_wire_format(chaos_reference):
+    """Checkpoint migration depends on envelopes being JSON-portable:
+    the multi-host farm ships them through canonical frame encoding
+    (repro.farm.frames), and the resumed run must stay bit-identical."""
+    from repro.farm.frames import canonical
+
+    workload, plan, ref = chaos_reference
+    calls = [0]
+
+    def preempt_after_first_slice():
+        calls[0] += 1
+        return calls[0] > 1
+
+    status, envelope = sliced_run(workload, "stache", fault_plan=plan,
+                                  should_preempt=preempt_after_first_slice)
+    assert status == "preempted"
+    # exactly what a progress frame does to the envelope on the wire
+    wire = json.loads(canonical({"payload": envelope}))["payload"]
+    status, obs = sliced_run(workload, "stache", fault_plan=plan,
+                             resume=wire)
+    assert status == "done"
+    assert same_observables(obs, ref)
+
+
 def test_observables_serialization_round_trips(chaos_reference):
     _, _, ref = chaos_reference
     wire = json.loads(json.dumps(serialize_observables(ref)))

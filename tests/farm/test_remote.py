@@ -1,0 +1,286 @@
+"""The multi-host farm over loopback TCP: differential equality with
+sequential runs, mid-campaign agent death, incarnation fencing, preemptive
+checkpoint migration across hosts, and degradation to the local transport.
+
+Worker agents run as threads in this process (the agent loop is
+thread-hosted by design — ``worker_agent`` is the same code path the
+``repro farm-worker`` CLI runs), so tests can monkeypatch
+``repro.farm.worker._before_job_hook`` to kill an agent at a precise
+moment via :class:`repro.farm.remote.AgentKilled`.
+"""
+
+import json
+import socket
+import threading
+import time
+
+import pytest
+
+from repro.faults.campaign import run_campaign
+from repro.farm import (
+    FarmController,
+    FarmJob,
+    SocketTransport,
+    run_farm,
+    worker_agent,
+)
+from repro.farm import worker as farm_worker
+from repro.farm.frames import FrameStream
+from repro.farm.remote import AgentKilled
+from repro.obs.events import EventKind, EventTrace
+from repro.verify.fuzz import fuzz, fuzz_seed_job
+
+
+def canon(report) -> str:
+    return json.dumps(report.to_dict(), sort_keys=True)
+
+
+def recv_frame(link):
+    """The next non-heartbeat frame (the coordinator heartbeats freely)."""
+    while True:
+        body = link.recv()
+        if body.get("type") != "hb":
+            return body
+
+
+def start_agents(transport, n, **kwargs):
+    kwargs.setdefault("heartbeat", 0.25)
+    kwargs.setdefault("watchdog", 1.5)
+    kwargs.setdefault("connect_timeout", 5.0)
+    threads = []
+    for i in range(n):
+        t = threading.Thread(
+            target=worker_agent, args=(transport.host, transport.port),
+            kwargs={"label": f"test-agent-{i}", **kwargs}, daemon=True)
+        t.start()
+        threads.append(t)
+    return threads
+
+
+def join_all(threads, timeout=10.0):
+    for t in threads:
+        t.join(timeout=timeout)
+        assert not t.is_alive(), "agent thread failed to exit"
+
+
+class TestLoopbackDifferential:
+    def test_fuzz_over_two_socket_agents_equals_sequential(self):
+        seq = fuzz(seeds=6)
+        transport = SocketTransport(2, port=0, watchdog=1.5, lease=2.0,
+                                    heartbeat=0.25)
+        agents = start_agents(transport, 2)
+        par = fuzz(seeds=6, farm_transport=transport)
+        assert seq.ok and par.ok
+        assert canon(par) == canon(seq)
+        join_all(agents)
+
+    def test_fault_campaign_over_socket_agents_equals_sequential(self):
+        kwargs = dict(seeds=1, variants=1, protocols=("stache",),
+                      traces_dir=None, shrink=False)
+        seq = run_campaign(**kwargs)
+        transport = SocketTransport(2, port=0, watchdog=1.5, lease=2.0,
+                                    heartbeat=0.25)
+        agents = start_agents(transport, 2)
+        par = run_campaign(farm_transport=transport, **kwargs)
+        assert canon(par) == canon(seq)
+        join_all(agents)
+
+
+class TestAgentDeath:
+    def test_agent_killed_mid_campaign_report_unchanged(self, monkeypatch):
+        seq = fuzz(seeds=5)
+
+        killed = []
+
+        def kill_first_attempt_of_job2(job):
+            if job.index == 2 and "attempt" not in job.params and not killed:
+                killed.append(job.index)
+                raise AgentKilled()
+
+        monkeypatch.setattr(farm_worker, "_before_job_hook",
+                            kill_first_attempt_of_job2)
+        tracer = EventTrace()
+        transport = SocketTransport(2, port=0, watchdog=1.0, lease=1.5,
+                                    heartbeat=0.2, tracer=tracer)
+        agents = start_agents(transport, 2)
+        par = fuzz(seeds=5, farm_transport=transport, tracer=tracer)
+        assert killed, "the kill hook never fired"
+        assert canon(par) == canon(seq)
+        counts = tracer.counts()
+        assert counts.get(EventKind.FARM_RETRY, 0) >= 1
+        assert counts.get(EventKind.FARM_WORKER_DOWN, 0) >= 1
+        # one agent died silently and never returns; the survivor exits
+        live = [t for t in agents if t.is_alive()]
+        join_all(live)
+
+
+class TestIncarnationFence:
+    def test_stale_incarnation_result_is_fenced(self):
+        transport = SocketTransport(1, port=0, watchdog=5.0, lease=30.0,
+                                    heartbeat=0.2)
+        started = threading.Event()
+
+        def run_start():
+            transport.start(None)
+            started.set()
+
+        starter = threading.Thread(target=run_start, daemon=True)
+        starter.start()
+        try:
+            sock1 = socket.create_connection(
+                (transport.host, transport.port), timeout=5)
+            link1 = FrameStream(sock1)
+            link1.send({"type": "hello", "host": "fake", "inc": 1,
+                        "frames": 1})
+            assert recv_frame(link1)["type"] == "welcome"
+            assert started.wait(timeout=5)
+
+            job = FarmJob(index=0, kind="fuzz-seed", params={"seed": 0})
+            transport.send(0, ("job", job))
+            assert recv_frame(link1)["type"] == "job"
+
+            # the host "reboots": a new session with a larger incarnation
+            sock2 = socket.create_connection(
+                (transport.host, transport.port), timeout=5)
+            link2 = FrameStream(sock2)
+            link2.send({"type": "hello", "host": "fake", "inc": 2,
+                        "frames": 1})
+            assert recv_frame(link2)["type"] == "welcome"
+
+            # a ghost: the pre-reboot job's result under the old incarnation
+            link2.send({"type": "result", "job": 0, "inc": 1,
+                        "payload": {"ghost": True}})
+            assert transport.recv(timeout=1.0) is None
+            assert transport.ledger.ghosts >= 1
+
+            # the reboot expired the old lease; the job is reclaimable
+            assert (0, 0) in transport.reclaim_expired()
+
+            # re-dispatched under the new incarnation, the result lands
+            transport.send(0, ("job", job))
+            assert recv_frame(link2)["type"] == "job"
+            link2.send({"type": "result", "job": 0, "inc": 2,
+                        "payload": {"ghost": False}})
+            message = transport.recv(timeout=2.0)
+            assert message == ("result", 0, 0, {"ghost": False})
+
+            # a duplicate of the accepted result is fenced too
+            link2.send({"type": "result", "job": 0, "inc": 2,
+                        "payload": {"ghost": False}})
+            assert transport.recv(timeout=0.5) is None
+        finally:
+            transport.stop()
+
+    def test_stale_session_cannot_reclaim_its_slot(self):
+        transport = SocketTransport(1, port=0, watchdog=5.0,
+                                    heartbeat=0.2)
+        starter = threading.Thread(target=transport.start, args=(None,),
+                                   daemon=True)
+        starter.start()
+        try:
+            sock1 = socket.create_connection(
+                (transport.host, transport.port), timeout=5)
+            link1 = FrameStream(sock1)
+            link1.send({"type": "hello", "host": "fake", "inc": 5,
+                        "frames": 1})
+            assert recv_frame(link1)["type"] == "welcome"
+
+            # a duplicate/ancient session of the same host is refused
+            sock2 = socket.create_connection(
+                (transport.host, transport.port), timeout=5)
+            link2 = FrameStream(sock2)
+            link2.send({"type": "hello", "host": "fake", "inc": 5,
+                        "frames": 1})
+            assert recv_frame(link2)["type"] == "unwelcome"
+        finally:
+            transport.stop()
+
+
+class TestPreemptionMigration:
+    def test_preempted_envelope_resumes_on_another_host(self):
+        kwargs = dict(seeds=1, variants=1, protocols=("stache",),
+                      traces_dir=None, shrink=False)
+        seq = run_campaign(**kwargs)
+
+        controller = FarmController()
+        for index in range(64):
+            controller.preempt(index)
+        tracer = EventTrace()
+        transport = SocketTransport(2, port=0, watchdog=2.0, lease=3.0,
+                                    heartbeat=0.25, tracer=tracer)
+        agents = start_agents(transport, 2)
+        par = run_campaign(farm_transport=transport,
+                           farm_controller=controller, tracer=tracer,
+                           **kwargs)
+        assert canon(par) == canon(seq)
+        assert tracer.counts().get(EventKind.FARM_PREEMPT, 0) >= 1
+        join_all(agents)
+
+
+class TestDegradeToLocal:
+    def test_all_hosts_lost_finishes_on_local_transport(self, monkeypatch):
+        specs = [{"seed": s, "protocols": ["stache"], "shrink": False}
+                 for s in range(3)]
+        expected = [fuzz_seed_job(dict(spec)) for spec in specs]
+
+        killed = []
+
+        def kill_once(job):
+            if not killed and "attempt" not in job.params:
+                killed.append(job.index)
+                raise AgentKilled()
+
+        monkeypatch.setattr(farm_worker, "_before_job_hook", kill_once)
+        tracer = EventTrace()
+        transport = SocketTransport(1, port=0, watchdog=0.8, lease=1.2,
+                                    heartbeat=0.2, degrade_after=0.5,
+                                    tracer=tracer)
+        agents = start_agents(transport, 1, watchdog=0.8,
+                              connect_timeout=3.0)
+        jobs = [FarmJob(index=i, kind="fuzz-seed", params=spec)
+                for i, spec in enumerate(specs)]
+        farm = run_farm(jobs, transport=transport, tracer=tracer,
+                        liveness_interval=0.2)
+        assert killed, "the kill hook never fired"
+        assert farm.degraded
+        assert farm.worker_crashes >= 1
+        assert [farm.results[i] for i in range(3)] == expected
+        assert tracer.counts().get(EventKind.FARM_DEGRADE, 0) == 1
+        # the killed agent's thread exits on its own (dead, no reconnect)
+        join_all(agents)
+
+    def test_disabled_fallback_raises_instead(self, monkeypatch):
+        from repro.farm import FarmError
+
+        def kill_always(job):
+            raise AgentKilled()
+
+        monkeypatch.setattr(farm_worker, "_before_job_hook", kill_always)
+        transport = SocketTransport(1, port=0, watchdog=0.8, lease=1.2,
+                                    heartbeat=0.2, degrade_after=0.5,
+                                    fallback_local=0)
+        start_agents(transport, 1, watchdog=0.8, connect_timeout=3.0)
+        jobs = [FarmJob(index=0, kind="fuzz-seed",
+                        params={"seed": 0, "protocols": ["stache"],
+                                "shrink": False})]
+        with pytest.raises(FarmError, match="local fallback"):
+            run_farm(jobs, transport=transport, liveness_interval=0.2)
+
+
+class TestAssembly:
+    def test_start_times_out_without_enough_agents(self):
+        from repro.farm import FarmError
+
+        transport = SocketTransport(2, port=0, accept_timeout=0.5)
+        with pytest.raises(FarmError, match="connected"):
+            transport.start(None)
+
+    def test_agent_gives_up_without_a_coordinator(self):
+        # a port with nothing listening: bind-then-close to reserve one
+        probe = socket.socket()
+        probe.bind(("127.0.0.1", 0))
+        port = probe.getsockname()[1]
+        probe.close()
+        rc = worker_agent("127.0.0.1", port, connect_timeout=0.6,
+                          backoff_cap=0.2)
+        assert rc == 1
