@@ -31,6 +31,8 @@ class VersionSpec:
 class VersionResult:
     spec: VersionSpec
     stats: RunStats
+    #: learned schedule records, filled only when run with ``harvest=True``
+    harvest: list = field(default_factory=list)
 
     @property
     def wall(self) -> float:
@@ -92,59 +94,117 @@ def spec_from_params(params: dict) -> VersionSpec:
     )
 
 
+def spec_corpus_key(spec: VersionSpec) -> str:
+    """The durable-corpus key of one spec's (program, protocol, placement)."""
+    from repro.corpus import bench_key
+
+    return bench_key(
+        spec.app.__name__.rsplit(".", 1)[-1], spec.protocol, spec.config,
+        optimized=spec.optimized, build_kwargs=dict(spec.build_kwargs),
+        variant=spec.variant,
+    )
+
+
 def version_job(params: dict) -> dict:
-    """Farm job body: run one version; ship its stats back as plain JSON."""
-    result = run_version(spec_from_params(params))
-    return {"stats": result.stats.to_dict()}
+    """Farm job body: run one version; ship its stats back as plain JSON.
+
+    ``params`` may carry the coordinator-computed corpus envelope:
+    ``"warm"`` (schedule records seeded before the run) and ``"harvest"``
+    (return what the run learned, for the coordinator to persist).
+    """
+    result = run_version(spec_from_params(params),
+                         warm=params.get("warm"),
+                         harvest=bool(params.get("harvest")))
+    out = {"stats": result.stats.to_dict()}
+    if params.get("harvest"):
+        out["harvest"] = result.harvest
+    return out
 
 
 def run_specs(specs, jobs: int = 1, fast: bool | None = None,
-              tracer=None, progress=None) -> list[VersionResult]:
+              tracer=None, progress=None, corpus=None) -> list[VersionResult]:
     """Run a list of specs, optionally sharded across a farm worker pool.
 
     Results come back in spec order regardless of scheduling, and each
     version's simulation is seeded entirely by its spec, so the list is
     identical to the sequential one (``RunStats`` round-trips losslessly
-    through :meth:`~repro.sim.stats.RunStats.to_dict`).
+    through :meth:`~repro.sim.stats.RunStats.to_dict`).  ``corpus``
+    warm-starts every schedule-learning spec from the durable corpus and
+    harvests what each run learned back into it; lookups and stores both
+    happen here (coordinator-side), so farm workers stay stateless.
     """
+    from repro.corpus import supports_warm
+
     specs = list(specs)
+    keys: list[str | None] = [None] * len(specs)
+    params_list = [spec_to_params(spec, fast=fast) for spec in specs]
+    if corpus is not None:
+        for i, spec in enumerate(specs):
+            if not supports_warm(spec.protocol):
+                continue
+            keys[i] = spec_corpus_key(spec)
+            params_list[i]["harvest"] = True
+            entry = corpus.lookup(keys[i], spec.config.n_nodes)
+            if entry is not None:
+                params_list[i]["warm"] = entry["records"]
     if jobs > 1 and len(specs) > 1:
         from repro.farm import FarmJob, run_farm
 
         farm = run_farm(
-            [FarmJob(index=i, kind="bench-version",
-                     params=spec_to_params(spec, fast=fast))
-             for i, spec in enumerate(specs)],
+            [FarmJob(index=i, kind="bench-version", params=params)
+             for i, params in enumerate(params_list)],
             n_workers=jobs, tracer=tracer, progress=progress,
         )
-        return [
+        results = [
             VersionResult(spec=spec,
-                          stats=RunStats.from_dict(farm.results[i]["stats"]))
+                          stats=RunStats.from_dict(farm.results[i]["stats"]),
+                          harvest=list(farm.results[i].get("harvest") or []))
             for i, spec in enumerate(specs)
         ]
-    return [run_version(spec, fast=fast) for spec in specs]
+    else:
+        results = [run_version(spec, fast=fast,
+                               warm=params.get("warm"),
+                               harvest=bool(params.get("harvest")))
+                   for spec, params in zip(specs, params_list)]
+    if corpus is not None:
+        for spec, key, result in zip(specs, keys, results):
+            if key is not None and result.harvest:
+                corpus.store(key, {"protocol": spec.protocol,
+                                   "n_nodes": spec.config.n_nodes,
+                                   "records": result.harvest})
+    return results
 
 
-def run_version(spec: VersionSpec, tracer=None, fast: bool | None = None) -> VersionResult:
+def run_version(spec: VersionSpec, tracer=None, fast: bool | None = None,
+                warm=None, harvest: bool = False) -> VersionResult:
     """Build the program, run it on a fresh machine, and collect stats.
 
     ``tracer`` optionally attaches a :class:`repro.obs.events.Tracer` to the
     machine so benchmark runs can export event timelines.  ``fast``
     overrides ``spec.fast`` when given (``repro reproduce --fast`` threads
-    it here without rebuilding every spec).
+    it here without rebuilding every spec).  ``warm`` seeds corpus schedule
+    records before the run; ``harvest=True`` returns the learned records in
+    ``VersionResult.harvest``.
     """
     kwargs = dict(spec.build_kwargs)
     if spec.variant != "cstar":
         kwargs["variant"] = spec.variant
     prog = spec.app.build(**kwargs)
     use_fast = spec.fast if fast is None else fast
-    machine = make_machine(spec.config, spec.protocol, fast=use_fast)
+    machine = make_machine(spec.config, spec.protocol, fast=use_fast,
+                           warm=warm)
     if tracer is not None:
         machine.attach_tracer(tracer)
     env = prog.run(machine, optimized=spec.optimized)
     stats = env.finish()
     stats.check_conservation()
-    return VersionResult(spec=spec, stats=stats)
+    result = VersionResult(spec=spec, stats=stats)
+    if harvest:
+        store = getattr(machine.protocol, "schedules", None)
+        if store is not None:
+            result.harvest = [s.to_record() for s in store.values()
+                              if s.entries]
+    return result
 
 
 @dataclass

@@ -131,7 +131,8 @@ def _run_microbench(case: BenchCase, fast: bool) -> tuple[float, RunStats, int]:
     return elapsed, stats, machine.engine.total_dispatched
 
 
-def _run_app(case: BenchCase, fast: bool) -> tuple[float, float, RunStats, int]:
+def _run_app(case: BenchCase, fast: bool,
+             warm=None) -> tuple[float, float, RunStats, int]:
     """One timed run; returns (sim_seconds, total_seconds, stats, events).
 
     ``sim_seconds`` covers ``run_phase`` + ``begin_group`` only — the part
@@ -142,7 +143,8 @@ def _run_app(case: BenchCase, fast: bool) -> tuple[float, float, RunStats, int]:
 
     app = getattr(apps, case.app)
     prog = app.build(**case.build_kwargs)
-    machine = make_machine(_case_config(case), case.protocol, fast=fast)
+    machine = make_machine(_case_config(case), case.protocol, fast=fast,
+                           warm=warm)
 
     sim = [0.0]
     inner_run_phase = machine.run_phase
@@ -171,8 +173,15 @@ def _run_app(case: BenchCase, fast: bool) -> tuple[float, float, RunStats, int]:
     return sim[0], total, stats, machine.engine.total_dispatched
 
 
-def run_case(case: BenchCase, fast: bool, repeats: int = 3) -> CaseResult:
-    """Best-of-``repeats`` timing of one case on one path."""
+def run_case(case: BenchCase, fast: bool, repeats: int = 3,
+             warm=None) -> CaseResult:
+    """Best-of-``repeats`` timing of one case on one path.
+
+    ``warm`` (corpus schedule records) must be supplied to *both* paths of
+    a pair identically — the ref/fast bit-identity check compares their
+    simulated results, and warming only one side would be a false
+    divergence.  The microbenchmark has no shared data and ignores it.
+    """
     best_sim = best_total = float("inf")
     stats = None
     events = 0
@@ -181,7 +190,7 @@ def run_case(case: BenchCase, fast: bool, repeats: int = 3) -> CaseResult:
             elapsed, stats, events = _run_microbench(case, fast)
             sim_s = total_s = elapsed
         else:
-            sim_s, total_s, stats, events = _run_app(case, fast)
+            sim_s, total_s, stats, events = _run_app(case, fast, warm=warm)
         best_sim = min(best_sim, sim_s)
         best_total = min(best_total, total_s)
     return CaseResult(case, fast, best_sim, best_total,
@@ -343,12 +352,15 @@ def bench_case_job(spec: dict) -> dict:
     """Farm job body: time one case on both paths; returns a JSON payload.
 
     The fast path's bit-identity check runs inside the job, so a diverging
-    worker fails its job (and the whole farm) immediately.
+    worker fails its job (and the whole farm) immediately.  ``spec`` may
+    carry a coordinator-computed ``"warm"`` corpus envelope, applied to
+    both paths identically.
     """
     case = spec_to_case(spec)
     repeats = int(spec.get("repeats", 1))
-    ref = run_case(case, fast=False, repeats=repeats)
-    fst = run_case(case, fast=True, repeats=repeats)
+    warm = spec.get("warm")
+    ref = run_case(case, fast=False, repeats=repeats, warm=warm)
+    fst = run_case(case, fast=True, repeats=repeats, warm=warm)
     if ref.wall_cycles != fst.wall_cycles or ref.events != fst.events:
         raise SimulationError(
             f"fast path diverged on {case.label!r}: "
@@ -363,14 +375,32 @@ def bench_case_job(spec: dict) -> dict:
 
 
 def measure_payloads(cases, repeats: int = 3, jobs: int = 1,
-                     tracer=None, progress=None) -> list[dict]:
+                     tracer=None, progress=None, corpus=None) -> list[dict]:
     """:func:`measure` in payload form, optionally sharded across a farm.
 
     ``jobs=1`` runs :func:`bench_case_job` in-process per case (the same
     computation the farm workers do), so the parallel path differs only in
-    where the work ran.
+    where the work ran.  ``corpus`` warms each case's schedule-learning
+    protocol from the durable store (lookup coordinator-side, read-only —
+    the perf suite never harvests; use the figure harness or verify runs
+    to populate the corpus).
     """
     specs = [case_to_spec(case, repeats) for case in cases]
+    if corpus is not None:
+        from repro.corpus import bench_key, supports_warm
+
+        for case, spec in zip(cases, specs):
+            if case.app == MICROBENCH or not supports_warm(case.protocol):
+                continue
+            cfg = _case_config(case)
+            entry = corpus.lookup(
+                bench_key(case.app, case.protocol, cfg,
+                          optimized=case.optimized,
+                          build_kwargs=dict(case.build_kwargs)),
+                cfg.n_nodes,
+            )
+            if entry is not None:
+                spec["warm"] = entry["records"]
     if jobs > 1 and len(specs) > 1:
         from repro.farm import FarmJob, run_farm
 

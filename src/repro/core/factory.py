@@ -22,7 +22,7 @@ PROTOCOLS = {
 
 
 def make_machine(config: MachineConfig, protocol: str = "stache",
-                 engine=None, fast: bool = False) -> Machine:
+                 engine=None, fast: bool = False, warm=None) -> Machine:
     """Create a simulated machine running the named coherence protocol.
 
     ``protocol`` is one of ``"stache"`` (the write-invalidate default),
@@ -33,7 +33,11 @@ def make_machine(config: MachineConfig, protocol: str = "stache",
     here to fuzz message interleavings.  ``fast=True`` selects the
     compiled fast path (:mod:`repro.fastpath`): a calendar-queue engine,
     packed tag tables, and the analyze/specialize/schedule pipeline, with
-    behaviour bit-identical to the reference path.
+    behaviour bit-identical to the reference path.  ``warm`` optionally
+    supplies schedule records (``CommSchedule.to_record`` dicts, e.g. from
+    the durable corpus) seeded into the protocol before the run so
+    pre-sends start at iteration 1; protocols without schedule support
+    silently ignore it.
     """
     cls = PROTOCOLS.get(protocol)
     if cls is None:
@@ -53,4 +57,6 @@ def make_machine(config: MachineConfig, protocol: str = "stache",
     machine = Machine(config, cls, engine=engine)
     if fast:
         machine.use_fastpath()
+    if warm and hasattr(machine.protocol, "warm_seed"):
+        machine.protocol.warm_seed(warm)
     return machine

@@ -134,6 +134,36 @@ class PredictiveProtocol(StacheProtocol):
                 obs.emit(Ev.SCHED_FLUSH, self.machine.engine.now,
                          flushed_directive=directive_id)
 
+    def warm_seed(self, records) -> int:
+        """Install corpus records as starting schedules; returns how many took.
+
+        Seeded schedules enter through the same :meth:`ScheduleStore.insert`
+        path a checkpoint restore uses, so the first ``begin_group`` at a
+        seeded directive pre-sends immediately (iteration 1) instead of
+        spending it learning.  A warmed schedule is an *optimization input*,
+        never a trust boundary: a wrong one merely mispredicts, which the
+        deferred-judgment degradation machinery already absorbs.  Records
+        that fail to decode are skipped — corpus damage must never surface
+        as a simulation exception — and sites that already hold a schedule
+        are left alone (live learning outranks the corpus).
+        """
+        installed = 0
+        obs = self.machine.obs
+        for record in records or ():
+            try:
+                sched = CommSchedule.from_record(record)
+            except Exception:
+                continue
+            if not sched.entries or sched.directive_id in self.schedules:
+                continue
+            self.schedules.insert(sched)
+            installed += 1
+            if obs.enabled:
+                obs.emit(Ev.SCHED_WARM, self.machine.engine.now,
+                         warmed_directive=sched.directive_id,
+                         entries=len(sched.entries))
+        return installed
+
     # -- part 1: building schedules (augmented home handlers) -----------------------
 
     def _handle(self, msg: Message, t: float) -> None:

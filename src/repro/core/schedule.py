@@ -269,6 +269,61 @@ class CommSchedule:
             for b, e in self.entries.items()
         }
 
+    # -- persistence (repro.corpus) -------------------------------------------
+
+    def to_record(self) -> dict:
+        """The canonical JSON-safe form of what this schedule *learned*.
+
+        Run-local bookkeeping (instance counters, growth history, the
+        misprediction EWMA and judgment marks) deliberately does not
+        persist — a warm-started run judges the inherited entries afresh,
+        exactly like a run whose schedule was handed over in memory.  The
+        degradation ``cooldown`` does persist: a schedule that proved
+        chronically wrong should not resume pre-sending the moment a new
+        process picks it up.
+        """
+        return {
+            "directive": self.directive_id,
+            "entries": [
+                {
+                    "block": e.block,
+                    "kind": e.kind.value,
+                    "readers": sorted(e.readers),
+                    "writer": e.writer,
+                    "pre_conflict": (e.pre_conflict_kind.value
+                                     if e.pre_conflict_kind else None),
+                }
+                for _, e in sorted(self.entries.items())
+            ],
+            "cooldown": self.cooldown,
+        }
+
+    @classmethod
+    def from_record(cls, record: dict) -> "CommSchedule":
+        """Rebuild a schedule from :meth:`to_record` output.
+
+        Instance counters start at 0, as in a fresh schedule — the first
+        ``begin_instance`` bumps them to 1, so inherited entries can never
+        be mistaken for same-instance recordings (which would mint false
+        conflicts).  Raises ``KeyError``/``ValueError``/``TypeError`` on a
+        malformed record; callers that load untrusted bytes (the corpus)
+        validate first and quarantine failures.
+        """
+        sched = cls(int(record["directive"]))
+        for ent in record["entries"]:
+            kind = EntryKind(ent["kind"])
+            pre = ent.get("pre_conflict")
+            sched.entries[int(ent["block"])] = ScheduleEntry(
+                block=int(ent["block"]),
+                kind=kind,
+                readers=set(ent["readers"]),
+                writer=ent["writer"],
+                instance=0,
+                pre_conflict_kind=EntryKind(pre) if pre else None,
+            )
+        sched.cooldown = int(record.get("cooldown", 0))
+        return sched
+
 
 class ScheduleStore:
     """Bounded, LRU-evicting home for a protocol's communication schedules.
@@ -293,31 +348,45 @@ class ScheduleStore:
         #: optional observer called with each evicted directive id (the
         #: predictive protocol routes this to the tracing bus)
         self.on_evict: Callable[[int], None] | None = None
+        #: cooldowns of degraded schedules evicted mid-cooldown, carried
+        #: until the directive returns.  Without this, eviction was a
+        #: degradation amnesty: a chronically wrong schedule pushed out of
+        #: the LRU resumed pre-sending immediately on relearn instead of
+        #: sitting out its remaining cooldown instances.
+        self._evicted_cooldowns: dict[int, int] = {}
+
+    def _evict_overflow(self) -> None:
+        while len(self._store) > self.capacity:
+            evicted, sched = self._store.popitem(last=False)
+            self.evictions += 1
+            if sched.cooldown > 0:
+                self._evicted_cooldowns[evicted] = sched.cooldown
+            if self.on_evict is not None:
+                self.on_evict(evicted)
 
     def fetch(self, directive_id: int) -> CommSchedule:
-        """Get-or-create the schedule for a directive; marks it used."""
+        """Get-or-create the schedule for a directive; marks it used.
+
+        A recreated schedule whose predecessor was evicted mid-cooldown
+        inherits the remaining cooldown instances.
+        """
         sched = self._store.get(directive_id)
         if sched is None:
             sched = CommSchedule(directive_id)
+            sched.cooldown = self._evicted_cooldowns.pop(directive_id, 0)
             self._store[directive_id] = sched
-            while len(self._store) > self.capacity:
-                evicted, _ = self._store.popitem(last=False)
-                self.evictions += 1
-                if self.on_evict is not None:
-                    self.on_evict(evicted)
+            self._evict_overflow()
         else:
             self._store.move_to_end(directive_id)
         return sched
 
     def insert(self, sched: CommSchedule) -> None:
-        """Install a schedule as most-recently used (checkpoint restore)."""
+        """Install a schedule as most-recently used (checkpoint restore,
+        corpus warm-start)."""
+        self._evicted_cooldowns.pop(sched.directive_id, None)
         self._store[sched.directive_id] = sched
         self._store.move_to_end(sched.directive_id)
-        while len(self._store) > self.capacity:
-            evicted, _ = self._store.popitem(last=False)
-            self.evictions += 1
-            if self.on_evict is not None:
-                self.on_evict(evicted)
+        self._evict_overflow()
 
     # -- read-only dict flavour ------------------------------------------------
 

@@ -1,0 +1,100 @@
+"""``repro corpus doctor``: inspect, compact, and scrub a corpus directory.
+
+The doctor is the operational face of the corpus: it opens the directory
+with the same recovery path every run uses (so merely inspecting a corpus
+repairs torn tails and quarantines poison — doctoring *is* opening), then
+reports what survived, what was sidelined and why, and how much disk the
+segments hold.  ``compact`` rewrites the live entries into one fresh
+segment; ``scrub`` empties the quarantine sidecar once it has been looked
+at.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+from repro.corpus.store import NullCorpus, open_corpus
+
+__all__ = ["doctor"]
+
+
+def _quarantine_summary(root: Path, limit: int = 20) -> list[str]:
+    lines: list[str] = []
+    qdir = root / ".quarantine"
+    files = sorted(qdir.glob("q-*.json")) if qdir.is_dir() else []
+    for path in files[:limit]:
+        try:
+            doc = json.loads(path.read_text())
+            detail = doc.get("detail") or ""
+            if len(detail) > 60:
+                detail = detail[:57] + "..."
+            lines.append(
+                f"  {path.name}: {doc.get('reason', '?')} in "
+                f"{doc.get('segment', '?')} @ {doc.get('offset', '?')}"
+                + (f" -- {detail}" if detail else ""))
+        except (OSError, ValueError):
+            lines.append(f"  {path.name}: (unreadable quarantine record)")
+    if len(files) > limit:
+        lines.append(f"  ... and {len(files) - limit} more")
+    return lines
+
+
+def doctor(root: str | Path, *, compact: bool = False, scrub: bool = False,
+           max_entries: int = 256, max_bytes: int = 16 * 1024 * 1024,
+           tracer=None) -> tuple[str, int]:
+    """Run the doctor; returns (report text, exit status).
+
+    Status 0: corpus healthy (nothing quarantined, no failures).
+    Status 1: corpus usable but damage was found/recovered — quarantined
+    records or recovered torn tails (opening already repaired the files).
+    Status 2: the directory could not be opened as a corpus at all.
+    """
+    corpus = open_corpus(root, max_entries=max_entries, max_bytes=max_bytes,
+                         tracer=tracer)
+    if isinstance(corpus, NullCorpus):
+        return f"corpus: UNUSABLE -- {corpus.reason}", 2
+
+    lines = [f"corpus: {corpus.root}"]
+    actions: list[str] = []
+    if compact:
+        kept = corpus.compact()
+        actions.append(f"compacted: {kept} live entr"
+                       f"{'y' if kept == 1 else 'ies'} rewritten")
+    if scrub:
+        removed = corpus.scrub()
+        actions.append(f"scrubbed: {removed} quarantine file"
+                       f"{'' if removed == 1 else 's'} removed")
+
+    stats = corpus.stats()
+    lines.append(
+        f"  entries: {stats['entries']}  segments: {stats['segments']}  "
+        f"disk: {stats['disk_bytes']} bytes")
+    lines.append(
+        f"  this open: quarantined {stats['quarantined']}, recovered "
+        f"{stats['recovered_tails']} torn tail(s), skipped "
+        f"{stats['skipped_segments']} foreign segment(s)")
+    if stats["failures"]:
+        lines.append(f"  failures: {stats['failures']} "
+                     f"(last: {stats['last_error']})")
+    for key, entry in corpus.entries():
+        records = entry.get("records", [])
+        sites = sum(len(r.get("entries", [])) for r in records)
+        lines.append(f"  {key}  [{entry.get('protocol', '?')}, "
+                     f"{entry.get('n_nodes', '?')} node(s), "
+                     f"{len(records)} schedule(s), {sites} block entr"
+                     f"{'y' if sites == 1 else 'ies'}]")
+
+    qlines = _quarantine_summary(corpus.root)
+    if qlines:
+        lines.append(f"  quarantine ({stats['quarantine_files']} file(s)):")
+        lines.extend(qlines)
+    else:
+        lines.append("  quarantine: empty")
+    lines.extend(f"  {a}" for a in actions)
+
+    damaged = (stats["quarantined"] or stats["recovered_tails"]
+               or stats["failures"] or stats["quarantine_files"])
+    lines.append("  verdict: " + ("DAMAGE FOUND (recovered; see quarantine)"
+                                  if damaged else "healthy"))
+    return "\n".join(lines), (1 if damaged else 0)

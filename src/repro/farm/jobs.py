@@ -23,6 +23,14 @@ Two properties make the farm's reports byte-identical to sequential runs:
   ``tests/farm/test_partition.py``).  Work stealing then rebalances the
   decks at run time without affecting results, because results are folded
   in job-index order regardless of completion order.
+
+The durable schedule corpus (:mod:`repro.corpus`) rides the same seam:
+warm-start envelopes are *looked up by the coordinator* and embedded in a
+job's transport-safe ``params`` (``"warm"``: protocol -> schedule
+records), and harvested schedules travel back inside the ordinary result
+dict.  Workers never open the corpus directory themselves, so a job's
+outcome stays a pure function of its spec — the same spec warms the same
+way on any worker, any transport, any jobs count.
 """
 
 from __future__ import annotations

@@ -75,6 +75,7 @@ def sliced_run(
     on_checkpoint=None,
     resume: dict | None = None,
     slice_events: int = DEFAULT_SLICE,
+    warm=None,
 ) -> tuple[str, object]:
     """Run ``workload`` under ``protocol`` in preemptible slices (FIFO order).
 
@@ -84,15 +85,18 @@ def sliced_run(
     ``should_preempt()`` fired and a quiescent checkpoint was reached.
     ``on_checkpoint(envelope)`` (optional) observes every checkpointable
     boundary, which is how farm workers stream crash-resume state.
-    Violations raise exactly as :func:`~repro.verify.oracle.run_workload`
-    raises them, fault events attached.
+    ``warm`` seeds corpus schedule records on a *fresh* start only — a
+    resumed run's snapshot already restored the live schedules, which
+    outrank the corpus.  Violations raise exactly as
+    :func:`~repro.verify.oracle.run_workload` raises them, fault events
+    attached.
     """
     events, regions = workload.session
     engine, policy = _engine_for(fast, max_events)
     if resume is None:
         cursor = 0
         machine = make_machine(workload.config, protocol, engine=engine,
-                               fast=fast)
+                               fast=fast, warm=warm)
         if fault_plan is not None:
             machine.install_fault_plan(fault_plan)
         obs = Observables(protocol=protocol)

@@ -571,12 +571,13 @@ class _Agent:
     def __init__(self, host: str, port: int, *, heartbeat: float,
                  watchdog: float, backoff_cap: float,
                  connect_timeout: float, label: str | None,
-                 progress=None):
+                 progress=None, max_attempts: int | None = None):
         self.coord = (host, port)
         self.heartbeat = heartbeat
         self.watchdog = watchdog
         self.backoff_cap = backoff_cap
         self.connect_timeout = connect_timeout
+        self.max_attempts = max_attempts
         self.label = label or (f"{socket.gethostname()}-{os.getpid()}"
                                f"-{next(_agent_labels)}")
         self.progress = progress or (lambda line: None)
@@ -667,12 +668,22 @@ class _Agent:
         threading.Thread(target=self._heartbeater, daemon=True,
                          name=f"repro-agent-hb-{self.label}").start()
         backoff = 0.25
+        attempts = 0
         give_up = time.monotonic() + self.connect_timeout
         try:
             while not self.dead:
                 try:
                     sock = socket.create_connection(self.coord, timeout=2.0)
-                except OSError:
+                except OSError as exc:
+                    attempts += 1
+                    if (self.max_attempts is not None
+                            and attempts >= self.max_attempts):
+                        self.progress(
+                            f"[agent {self.label}] could not reach "
+                            f"coordinator at {self.coord[0]}:{self.coord[1]} "
+                            f"after {attempts} attempt(s) "
+                            f"(last error: {exc}); giving up")
+                        return 1
                     if time.monotonic() > give_up:
                         self.progress(f"[agent {self.label}] no coordinator "
                                       f"within {self.connect_timeout:g}s")
@@ -681,6 +692,7 @@ class _Agent:
                     backoff = min(backoff * 2, self.backoff_cap)
                     continue
                 backoff = 0.25
+                attempts = 0
                 self.inc += 1
                 outcome = self._session(sock)
                 give_up = time.monotonic() + self.connect_timeout
@@ -762,14 +774,21 @@ def worker_agent(host: str, port: int, *,
                  backoff_cap: float = 8.0,
                  connect_timeout: float = 120.0,
                  label: str | None = None,
-                 progress=None) -> int:
+                 progress=None,
+                 max_attempts: int | None = None) -> int:
     """Run one farm worker agent against a coordinator at (host, port).
 
     The ``repro farm-worker --connect`` entry point; also runnable in a
-    thread (the loopback tests do).  Returns 0 after a clean ``stop``
-    from the coordinator, 1 when no coordinator could be reached for
-    ``connect_timeout`` seconds.
+    thread (the loopback tests do).  The initial dial retries with capped
+    exponential backoff (``backoff_cap``) until a connection lands; the
+    budget is bounded two ways — ``connect_timeout`` seconds of wall time,
+    and optionally ``max_attempts`` consecutive failed dials (whichever
+    trips first; a successful attach resets both).  Returns 0 after a
+    clean ``stop`` from the coordinator, 1 with a clear error line on
+    ``progress`` when the coordinator could not be reached within the
+    budget.
     """
     return _Agent(host, port, heartbeat=heartbeat, watchdog=watchdog,
                   backoff_cap=backoff_cap, connect_timeout=connect_timeout,
-                  label=label, progress=progress).run()
+                  label=label, progress=progress,
+                  max_attempts=max_attempts).run()

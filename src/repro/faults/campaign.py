@@ -252,8 +252,13 @@ def _check_unrecoverable(workload: Workload, protocol: str,
 def _build_failure(workload: Workload, w_name: str, plan_name: str,
                    protocol: str, plan: FaultPlan,
                    violation: CoherenceViolation, shrink: bool,
-                   fast: bool) -> FaultFailure:
-    """Capture one failing run: script its injection history and shrink it."""
+                   fast: bool, warm=None) -> FaultFailure:
+    """Capture one failing run: script its injection history and shrink it.
+
+    ``warm`` must be whatever the failing run was seeded with — shrinking
+    replays have to reproduce the original machine exactly, corpus
+    warm-start included.
+    """
     fail = FaultFailure(
         plan=plan_name, protocol=protocol, workload=w_name,
         violation=violation,
@@ -267,7 +272,7 @@ def _build_failure(workload: Workload, w_name: str, plan_name: str,
             try:
                 run_workload(workload, protocol,
                              fault_plan=scripted.with_(events=tuple(subset)),
-                             fast=fast)
+                             fast=fast, warm=warm)
             except CoherenceViolation:
                 return True
             return False
@@ -302,6 +307,7 @@ def run_fault_cell(spec: dict, control=None):
     base_plan = FaultPlan.from_dict(spec["plan"])
     plan_name, variant = spec["plan_name"], spec["variant"]
     shrink, fast = spec["shrink"], spec["fast"]
+    warm_by_protocol = spec.get("warm") or {}
     resume = spec.get("resume") or {}
     done: list[dict] = list(resume.get("done", []))
     current = resume.get("current")
@@ -312,6 +318,7 @@ def run_fault_cell(spec: dict, control=None):
         plan = base_plan.with_(seed=derive_seed(
             base_plan.seed, w_name, plan_name, variant, protocol
         ))
+        warm = warm_by_protocol.get(protocol)
         resume_env = (current if current is not None
                       and current.get("p_index") == p_index else None)
         obs = failure = None
@@ -322,6 +329,7 @@ def run_fault_cell(spec: dict, control=None):
                 status, payload = sliced_run(
                     workload, protocol, fault_plan=plan, fast=fast,
                     should_preempt=control.should_preempt, resume=resume_env,
+                    warm=warm,
                 )
                 if status == "preempted":
                     return "preempted", {
@@ -331,10 +339,11 @@ def run_fault_cell(spec: dict, control=None):
                 obs = payload
             else:
                 obs = run_workload(workload, protocol, fault_plan=plan,
-                                   fast=fast)
+                                   fast=fast, warm=warm)
         except CoherenceViolation as violation:
             failure = _build_failure(workload, w_name, plan_name, protocol,
-                                     plan, violation, shrink, fast)
+                                     plan, violation, shrink, fast,
+                                     warm=warm)
         if failure is not None:
             done.append({"failure": failure.to_dict()})
         else:
@@ -398,6 +407,29 @@ def _fold_cell_result(report: FaultCampaignReport, result: dict,
     report.metrics.update(MetricsRegistry.from_dict(result["metrics"]))
 
 
+def _workload_warm(corpus, workload: Workload, wspec: dict,
+                   run_protocols: Sequence[str]) -> dict:
+    """Coordinator-side corpus lookups for one workload's warm envelope.
+
+    Derives the same identity (``fuzz/seed<N>`` / ``trace/<name>``) as the
+    verify harness, so campaigns warm from exactly what fault-free verify
+    runs harvested.
+    """
+    from repro.corpus import supports_warm, workload_key
+
+    warm: dict = {}
+    for protocol in run_protocols:
+        if not supports_warm(protocol):
+            continue
+        entry = corpus.lookup(
+            workload_key(workload, protocol, name=wspec.get("name")),
+            workload.config.n_nodes,
+        )
+        if entry is not None:
+            warm[protocol] = entry["records"]
+    return warm
+
+
 def run_campaign(
     plans: dict[str, FaultPlan] | None = None,
     seeds: int = 2,
@@ -413,6 +445,7 @@ def run_campaign(
     tracer=None,
     farm_transport=None,
     farm_controller=None,
+    corpus=None,
 ) -> FaultCampaignReport:
     """Run every (plan x workload x protocol) combination under the monitor.
 
@@ -431,6 +464,12 @@ def run_campaign(
     campaign cells across a local worker farm
     (:func:`repro.farm.coordinator.run_farm`) with a byte-identical folded
     report; ``tracer`` then receives the farm's lifecycle events.
+    ``corpus`` warm-starts every cell's schedule-learning protocols from
+    the durable corpus (lookups happen coordinator-side, embedded in the
+    transport-safe specs, so farmed and sequential campaigns warm
+    identically).  Campaigns are **read-only** corpus consumers: what a
+    run learns under injected faults is poisoned by them, so nothing is
+    harvested back.
     """
     plans = plans if plans is not None else dict(BUNDLED_PLANS)
     report = FaultCampaignReport(plans=len(plans))
@@ -456,14 +495,19 @@ def run_campaign(
             p for p in workload.protocols
             if protocols is None or p in protocols
         ]
+        warm = (_workload_warm(corpus, workload, wspec, run_protocols)
+                if corpus is not None else {})
         for plan_name, base_plan in plans.items():
             for variant in range(variants):
-                cells.append({
+                cell = {
                     "workload": wspec, "w_index": w_index,
                     "plan_name": plan_name, "plan": base_plan.to_dict(),
                     "variant": variant, "protocols": run_protocols,
                     "shrink": shrink, "fast": fast,
-                })
+                }
+                if warm:
+                    cell["warm"] = warm
+                cells.append(cell)
     probe = ({"workload": workloads[0][2], "fast": fast}
              if check_unrecoverable and workloads else None)
 

@@ -275,10 +275,13 @@ UNRECOVERABLE_PLAN = FaultPlan(
 
 
 def save_plan(plan: FaultPlan, path) -> None:
-    """Write ``plan`` as JSON, e.g. to archive a shrunk crash script."""
-    with open(path, "w", encoding="utf-8") as fh:
-        json.dump(plan.to_dict(), fh, indent=2, sort_keys=True)
-        fh.write("\n")
+    """Write ``plan`` as JSON, e.g. to archive a shrunk crash script.
+
+    Atomic (write-temp + fsync + rename): a reproducer archive interrupted
+    mid-write must not leave a torn script that replays differently."""
+    from repro.util.atomicio import atomic_write_json
+
+    atomic_write_json(path, plan.to_dict())
 
 
 def load_plan(path) -> FaultPlan:

@@ -29,6 +29,7 @@ from pathlib import Path
 from typing import TYPE_CHECKING
 
 from repro.sim.stats import NodeStats, PhaseBreakdown, TimeCategory
+from repro.util.atomicio import atomic_write_json
 from repro.util.errors import SimulationError
 
 if TYPE_CHECKING:  # pragma: no cover
@@ -165,6 +166,11 @@ def _snapshot_predictive(machine: "Machine") -> dict | None:
         # least- to most-recently-used, so insert() rebuilds the LRU order
         "schedules": [_snapshot_schedule(s) for s in store.values()],
         "evictions": store.evictions,
+        # cooldowns of evicted degraded schedules: relearning after a
+        # resume must serve the same remaining penance as the original run
+        "evicted_cooldowns": sorted(
+            [d, c] for d, c in store._evicted_cooldowns.items()
+        ),
         "pending_judgment": [
             [dst, block, sched.directive_id,
              store.get(sched.directive_id) is sched]
@@ -406,6 +412,9 @@ def _restore_predictive(machine: "Machine", rec: dict) -> None:
         sched.cooldown = sdict["cooldown"]
         store.insert(sched)
     store.evictions = rec["evictions"]
+    store._evicted_cooldowns = {
+        d: c for d, c in rec.get("evicted_cooldowns", [])
+    }
     # Pairs owned by a live schedule point at the store's object (degrade
     # filters compare identity); pairs whose owner was evicted get one
     # dangling stand-in per directive id — behaviourally identical, since an
@@ -482,12 +491,11 @@ def _restore_crash(machine: "Machine", rec: dict) -> None:
 
 def save_checkpoint(machine: "Machine", path) -> dict:
     """Snapshot ``machine`` and write it to ``path`` as JSON; returns the
-    snapshot dict."""
+    snapshot dict.  The write is atomic (write-temp + fsync + rename), so
+    a crash mid-save leaves the previous checkpoint intact, never a torn
+    file."""
     snap = snapshot_machine(machine)
-    path = Path(path)
-    with path.open("w", encoding="utf-8") as fh:
-        json.dump(snap, fh, indent=1, sort_keys=True)
-        fh.write("\n")
+    atomic_write_json(Path(path), snap, indent=1)
     return snap
 
 

@@ -168,10 +168,15 @@ def _fails_with(workload: Workload, protocol: str) -> Callable[[list[int]], bool
 def fuzz_seed_job(spec: dict) -> dict:
     """Run one seed's complete fuzz work; a pure function of ``spec``.
 
-    ``spec`` is transport-safe (``{"seed", "protocols", "shrink"}``) and the
-    result is a JSON-safe dict — this is the unit the campaign farm ships to
-    workers, and the exact same function the sequential path folds, which is
-    what makes ``--jobs N`` reports byte-identical to ``--jobs 1``.
+    ``spec`` is transport-safe (``{"seed", "protocols", "shrink"}``, plus
+    the optional corpus envelope: ``"warm"`` maps protocol names to
+    schedule records seeded before the run, ``"harvest"`` asks the job to
+    return the learned records) and the result is a JSON-safe dict — this
+    is the unit the campaign farm ships to workers, and the exact same
+    function the sequential path folds, which is what makes ``--jobs N``
+    reports byte-identical to ``--jobs 1``.  Warm envelopes are computed
+    coordinator-side (the worker never opens the corpus), so a farmed
+    campaign warms identically however the seeds are sharded.
 
     Each protocol's tie-break stream is seeded with
     ``derive_seed(seed, protocol)``: a stable hash of the run's identity,
@@ -181,16 +186,20 @@ def fuzz_seed_job(spec: dict) -> dict:
     seed = int(spec["seed"])
     protocols = tuple(spec["protocols"])
     shrink = bool(spec["shrink"])
+    warm = spec.get("warm", {})
+    harvest = bool(spec.get("harvest"))
     workload = generate_workload(seed)
     run_protocols = [p for p in workload.protocols if p in protocols]
     registry = MetricsRegistry()
-    out: dict = {"seed": seed, "runs": 0, "violations": [], "progress": []}
+    out: dict = {"seed": seed, "runs": 0, "violations": [], "progress": [],
+                 "harvest": {}}
     observed: dict[str, Observables] = {}
     for protocol in run_protocols:
         policy = SeededRandomPolicy(derive_seed(seed, protocol))
         out["runs"] += 1
         try:
-            obs = run_workload(workload, protocol, policy)
+            obs = run_workload(workload, protocol, policy,
+                               warm=warm.get(protocol), harvest=harvest)
         except CoherenceViolation as violation:
             rec = ViolationRecord(seed=seed, protocol=protocol, violation=violation)
             if shrink and violation.schedule:
@@ -206,6 +215,8 @@ def fuzz_seed_job(spec: dict) -> dict:
             continue
         observed[protocol] = obs
         registry.update(registry_from_run(obs.stats, protocol=protocol))
+        if harvest and obs.harvest:
+            out["harvest"][protocol] = obs.harvest
     if observed:
         try:
             differential_check(workload, observed)
@@ -241,6 +252,7 @@ def fuzz(
     jobs: int = 1,
     tracer=None,
     farm_transport=None,
+    corpus=None,
 ) -> FuzzReport:
     """Fuzz ``seeds`` workloads under adversarial interleavings.
 
@@ -249,7 +261,11 @@ def fuzz(
     overrides the farm backend (the multi-host socket transport).  The
     folded report's :meth:`~FuzzReport.to_dict` is byte-identical to the
     sequential one.  ``tracer`` (farm runs only) receives the farm's
-    lifecycle events.
+    lifecycle events.  ``corpus`` (a :func:`repro.corpus.open_corpus`
+    handle) warm-starts each seed's schedule-learning protocols from
+    persisted schedules and harvests what the fault-free runs learned back
+    into the store; all corpus traffic happens coordinator-side, so farmed
+    and sequential campaigns warm identically and workers stay stateless.
     """
     report = FuzzReport(protocols=tuple(protocols) if protocols else ALL_PROTOCOLS)
     t0 = time.perf_counter()
@@ -257,6 +273,26 @@ def fuzz(
         {"seed": seed, "protocols": list(report.protocols), "shrink": shrink}
         for seed in range(first_seed, first_seed + seeds)
     ]
+    #: seed -> protocol -> (corpus key, n_nodes), for the harvest fold
+    corpus_keys: dict[int, dict[str, tuple[str, int]]] = {}
+    if corpus is not None:
+        from repro.corpus import supports_warm, workload_key
+
+        for spec in specs:
+            workload = generate_workload(spec["seed"])
+            spec["harvest"] = True
+            spec["warm"] = {}
+            keys = corpus_keys[spec["seed"]] = {}
+            for protocol in report.protocols:
+                if protocol not in workload.protocols:
+                    continue
+                if not supports_warm(protocol):
+                    continue
+                key = workload_key(workload, protocol)
+                keys[protocol] = (key, workload.config.n_nodes)
+                entry = corpus.lookup(key, workload.config.n_nodes)
+                if entry is not None:
+                    spec["warm"][protocol] = entry["records"]
     if farm_transport is not None or (jobs > 1 and len(specs) > 1):
         from repro.farm.coordinator import run_farm
         from repro.farm.jobs import FarmJob
@@ -272,10 +308,25 @@ def fuzz(
         results = (fuzz_seed_job(spec) for spec in specs)
     for i, result in enumerate(results):
         _fold_seed_result(report, result, progress)
+        if corpus is not None:
+            _store_harvest(corpus, result,
+                           corpus_keys.get(result["seed"], {}))
         if progress and i % 25 == 24:
             progress(f"... {i + 1}/{seeds} seeds")
     report.elapsed = time.perf_counter() - t0
     return report
+
+
+def _store_harvest(corpus, result: dict,
+                   keys: dict[str, tuple[str, int]]) -> None:
+    """Persist one seed job's learned schedules (fault-free learning only)."""
+    for protocol, records in sorted((result.get("harvest") or {}).items()):
+        known = keys.get(protocol)
+        if known is None or not records:
+            continue
+        key, n_nodes = known
+        corpus.store(key, {"protocol": protocol, "n_nodes": n_nodes,
+                           "records": records})
 
 
 def replay_seed(seed: int, protocols: Sequence[str] | None = None) -> FuzzReport:

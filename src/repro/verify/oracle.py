@@ -40,6 +40,9 @@ class Observables:
     stats: RunStats | None = None
     #: faults actually injected during the run (empty without a fault plan)
     fault_events: list = field(default_factory=list)
+    #: learned schedule records (``CommSchedule.to_record``), filled only
+    #: when the run was asked to harvest for the durable corpus
+    harvest: list = field(default_factory=list)
 
     def record(self, node: int, block: int, kind: str) -> None:
         if kind == "r":
@@ -58,6 +61,8 @@ def run_workload(
     fault_plan=None,
     tracer=None,
     fast: bool = False,
+    warm=None,
+    harvest: bool = False,
 ) -> Observables:
     """Replay ``workload`` under ``protocol`` with policy-driven tie-breaks.
 
@@ -69,7 +74,11 @@ def run_workload(
     fast path (:mod:`repro.fastpath`) — only honoured under FIFO
     tie-breaking, since its calendar queue dispatches in exactly the
     reference FIFO order; exploratory or replay policies fall back to the
-    reference :class:`ExplorerEngine`.  Raises
+    reference :class:`ExplorerEngine`.  ``warm`` optionally seeds corpus
+    schedule records into the protocol before the run (see
+    :meth:`PredictiveProtocol.warm_seed`); ``harvest=True`` collects the
+    learned schedules into ``Observables.harvest`` afterwards so the
+    caller can persist them.  Raises
     :class:`CoherenceViolation` on any invariant failure, protocol error,
     transport timeout, or deadlock, with the seed, schedule, and injected
     fault events attached for replay.
@@ -81,10 +90,11 @@ def run_workload(
 
         engine = FastEngine(default_max_events=max_events)
         machine = make_machine(workload.config, protocol, engine=engine,
-                               fast=True)
+                               fast=True, warm=warm)
     else:
         engine = ExplorerEngine(policy, default_max_events=max_events)
-        machine = make_machine(workload.config, protocol, engine=engine)
+        machine = make_machine(workload.config, protocol, engine=engine,
+                               warm=warm)
     if fault_plan is not None:
         machine.install_fault_plan(fault_plan)
     if tracer is not None:
@@ -119,6 +129,11 @@ def run_workload(
         violation.fault_events = injected()
         raise violation from exc
     obs.fault_events = injected()
+    if harvest:
+        store = getattr(machine.protocol, "schedules", None)
+        if store is not None:
+            obs.harvest = [s.to_record() for s in store.values()
+                           if s.entries]
     return obs
 
 

@@ -1,0 +1,21 @@
+"""Shared fixtures for the corpus tests: tiny valid entries and segments."""
+
+from __future__ import annotations
+
+
+def entry_for(n_nodes: int = 2, directive: int = 0, blocks=(1, 2),
+              cooldown: int = 0) -> dict:
+    """A minimal valid corpus entry (one directive, READ anticipations)."""
+    return {
+        "protocol": "predictive",
+        "n_nodes": n_nodes,
+        "records": [{
+            "directive": directive,
+            "cooldown": cooldown,
+            "entries": [
+                {"block": b, "kind": "read", "readers": [n_nodes - 1],
+                 "writer": None, "pre_conflict": None}
+                for b in blocks
+            ],
+        }],
+    }

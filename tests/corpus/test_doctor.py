@@ -1,0 +1,80 @@
+"""``repro corpus doctor``: inspection report, repair actions, exit codes."""
+
+from __future__ import annotations
+
+from repro.corpus import open_corpus
+from repro.corpus.doctor import doctor
+from tests.corpus.helpers import entry_for
+
+
+def seeded_corpus(root):
+    corpus = open_corpus(root)
+    corpus.store("key/a", entry_for(directive=0))
+    corpus.store("key/b", entry_for(directive=1, blocks=(5, 6, 7)))
+    return corpus
+
+
+def test_healthy_corpus_is_status_zero(tmp_path):
+    seeded_corpus(tmp_path / "c")
+    report, status = doctor(tmp_path / "c")
+    assert status == 0
+    assert "verdict: healthy" in report
+    assert "key/a" in report and "key/b" in report
+    assert "entries: 2" in report
+
+
+def test_damage_is_status_one_and_reported(tmp_path):
+    root = tmp_path / "c"
+    seeded_corpus(root)
+    (segment,) = root.glob("seg-*.log")
+    segment.write_bytes(segment.read_bytes() + b"\x00\x00\x99torn")
+    report, status = doctor(root)
+    assert status == 1
+    assert "torn-tail" in report
+    # opening was the repair; a second doctor pass sees a healed store
+    # with the quarantine record still on file
+    report2, status2 = doctor(root)
+    assert status2 == 1  # quarantine still non-empty
+    assert "recovered 0 torn tail(s)" in report2
+
+
+def test_scrub_returns_corpus_to_healthy(tmp_path):
+    root = tmp_path / "c"
+    seeded_corpus(root)
+    (segment,) = root.glob("seg-*.log")
+    segment.write_bytes(segment.read_bytes() + b"\xff")
+    _, status = doctor(root, scrub=True)
+    assert status == 1  # this pass still found the damage
+    report, status = doctor(root)
+    assert status == 0
+    assert "quarantine: empty" in report
+
+
+def test_compact_rewrites_segments(tmp_path):
+    root = tmp_path / "c"
+    corpus = open_corpus(root)
+    for i in range(10):
+        corpus.store("hot", entry_for(blocks=(i,)))
+    before = sum(p.stat().st_size for p in root.glob("seg-*.log"))
+    report, status = doctor(root, compact=True)
+    assert status == 0
+    after = sum(p.stat().st_size for p in root.glob("seg-*.log"))
+    assert after < before
+    assert open_corpus(root).lookup("hot") == entry_for(blocks=(9,))
+
+
+def test_unusable_corpus_is_status_two(tmp_path):
+    path = tmp_path / "not-a-dir"
+    path.write_text("")
+    report, status = doctor(path)
+    assert status == 2
+    assert "unusable" in report
+
+
+def test_cli_corpus_doctor(tmp_path, capsys):
+    from repro.cli import main
+
+    seeded_corpus(tmp_path / "c")
+    assert main(["corpus", "doctor", str(tmp_path / "c")]) == 0
+    out = capsys.readouterr().out
+    assert "verdict: healthy" in out

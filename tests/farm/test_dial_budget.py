@@ -1,0 +1,42 @@
+"""The worker agent's initial dial must fail fast when budgeted.
+
+``repro farm-worker --connect`` retries a refused coordinator with capped
+backoff; ``--connect-attempts N`` bounds the consecutive-failure count so
+a mistyped address errors out in seconds instead of spinning until the
+wall-clock ``--connect-timeout``.
+"""
+
+from __future__ import annotations
+
+import socket
+import time
+
+from repro.farm.remote import worker_agent
+
+
+def refused_port() -> int:
+    """A port nothing is listening on (bound once, then released)."""
+    with socket.socket() as sock:
+        sock.bind(("127.0.0.1", 0))
+        return sock.getsockname()[1]
+
+
+def test_attempt_budget_gives_up_with_clear_error():
+    lines: list[str] = []
+    t0 = time.monotonic()
+    rc = worker_agent("127.0.0.1", refused_port(), connect_timeout=60.0,
+                      max_attempts=2, label="t", progress=lines.append)
+    elapsed = time.monotonic() - t0
+    assert rc == 1
+    assert elapsed < 10.0, "attempt budget did not trip before the timeout"
+    tail = [line for line in lines if "giving up" in line]
+    assert tail, f"no give-up line in {lines!r}"
+    assert "could not reach coordinator" in tail[0]
+    assert "2 attempt(s)" in tail[0]
+
+
+def test_wall_clock_timeout_still_applies_without_budget():
+    lines: list[str] = []
+    rc = worker_agent("127.0.0.1", refused_port(), connect_timeout=0.3,
+                      max_attempts=None, label="t", progress=lines.append)
+    assert rc == 1

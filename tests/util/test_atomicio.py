@@ -1,0 +1,47 @@
+"""Atomic write helpers: byte-compatibility and no leftover temp files."""
+
+from __future__ import annotations
+
+import json
+
+from repro.util.atomicio import (atomic_write_bytes, atomic_write_json,
+                                 atomic_write_text)
+
+
+def test_bytes_roundtrip_and_no_temp_residue(tmp_path):
+    path = tmp_path / "out.bin"
+    atomic_write_bytes(path, b"\x00\x01payload")
+    assert path.read_bytes() == b"\x00\x01payload"
+    assert [p.name for p in tmp_path.iterdir()] == ["out.bin"]
+
+
+def test_overwrite_replaces_whole_content(tmp_path):
+    path = tmp_path / "out.txt"
+    atomic_write_text(path, "a much longer first version\n")
+    atomic_write_text(path, "short\n")
+    assert path.read_text() == "short\n"
+
+
+def test_creates_missing_parents(tmp_path):
+    path = tmp_path / "a" / "b" / "out.json"
+    atomic_write_json(path, {"k": 1})
+    assert json.loads(path.read_text()) == {"k": 1}
+
+
+def test_json_bytes_match_plain_dump(tmp_path):
+    # CI compares artifacts with cmp; the atomic path must not change bytes
+    doc = {"b": [1, 2], "a": {"nested": True}}
+    path = tmp_path / "doc.json"
+    atomic_write_json(path, doc)
+    assert path.read_text() == json.dumps(doc, indent=2, sort_keys=True) + "\n"
+    atomic_write_json(path, doc, indent=1)
+    assert path.read_text() == json.dumps(doc, indent=1, sort_keys=True) + "\n"
+
+
+def test_cli_write_json_is_atomic_and_byte_identical(tmp_path):
+    from repro.cli import _write_json
+
+    doc = {"z": 1, "a": 2}
+    out = tmp_path / "nested" / "doc.json"
+    _write_json(str(out), doc)
+    assert out.read_text() == json.dumps(doc, indent=2, sort_keys=True) + "\n"
