@@ -17,6 +17,25 @@ Commands
 ``ablation {coalescing,incremental,flush,blocks}``
     Run one of the design-choice ablations.
 
+``model [APP] [--validate | --calibrate | --suite]``
+    The analytical performance model (``repro.model``): predict a run's
+    statistics in closed form — no event loop — from the compiler's access
+    summaries, the machine parameters, and the protocol.  ``--validate``
+    simulates the same configuration and prints both side by side;
+    ``--calibrate`` fits the per-protocol residual coefficients from short
+    reference sims; ``--suite`` cross-validates model vs. simulator over
+    the full Figure-5/6/7 matrix and gates the committed error budgets
+    (``--quick`` for the CI subset, ``--write``/``--check`` for the
+    ``benchmarks/MODEL_validation.json`` artifact).
+
+``sweep APP --axis name=v1,v2,... [--model] [--out FILE]``
+    Cartesian machine-parameter grids.  The default backend simulates
+    every point; ``--model`` predicts each point analytically —
+    milliseconds for grids that take the simulator minutes, since
+    cost-axis points reuse one cached walk.  Both backends emit identical
+    document shapes, so exported grids (atomic ``.json``/``.csv``) are
+    diffable point by point.
+
 ``audit``
     Statically audit the shipped protocols' transition tables.
 
@@ -531,6 +550,207 @@ def _cmd_bench(args: argparse.Namespace) -> int:
     return 0
 
 
+_MODEL_APPS = ("adaptive", "barnes", "water")
+
+
+def _resolve_app(name: str):
+    """A benchmark app by name, with its Figure-5/6/7 workload defaults."""
+    from repro.apps import adaptive, barnes, water
+    from repro.bench import figures
+
+    module, kwargs, cfg = {
+        "adaptive": (adaptive, figures.ADAPTIVE_KW, figures.ADAPTIVE_CFG),
+        "barnes": (barnes, figures.BARNES_KW, figures.BARNES_CFG),
+        "water": (water, figures.WATER_KW, figures.WATER_CFG),
+    }[name]
+    return module, dict(kwargs), cfg
+
+
+def _model_config(args, base_cfg):
+    """The figure baseline config with any explicit CLI overrides."""
+    cfg = base_cfg
+    if args.nodes is not None:
+        cfg = cfg.with_(n_nodes=args.nodes)
+    if args.block_size is not None:
+        cfg = cfg.with_(block_size=args.block_size)
+    if args.page_size is not None:
+        cfg = cfg.with_(page_size=args.page_size)
+    return cfg
+
+
+def _load_model_calibration(args):
+    """Resolve the calibration to predict with; returns (cal, source)."""
+    import pathlib
+
+    from repro.model import default_calibration, load_calibration
+
+    if getattr(args, "uncalibrated", False):
+        return default_calibration(), "identity (--uncalibrated)"
+    explicit = getattr(args, "calibration", None)
+    if explicit:
+        return load_calibration(explicit), explicit
+    path = pathlib.Path(args.dir) / "MODEL_calibration.json"
+    if path.is_file():
+        return load_calibration(path), str(path)
+    return default_calibration(), "identity (no committed calibration)"
+
+
+def _cmd_model(args: argparse.Namespace) -> int:
+    """Predict, calibrate, or cross-validate with the analytical model."""
+    import pathlib
+
+    from repro.util.tables import format_table
+
+    if args.calibrate:
+        from repro.model import calibrate, save_calibration
+
+        cal = calibrate(progress=print)
+        rows = [[p, cal.alpha[p], cal.gamma[p], cal.delta[p],
+                 cal.diagnostics[p]["rms_wall_err_before"],
+                 cal.diagnostics[p]["rms_wall_err_after"]]
+                for p in sorted(cal.alpha)]
+        print(format_table(
+            ["protocol", "alpha", "gamma", "delta", "rms err before",
+             "rms err after"],
+            rows, title="model calibration", floatfmt=".6g"))
+        path = pathlib.Path(args.dir) / "MODEL_calibration.json"
+        save_calibration(path, cal)
+        print(f"calibration written to {path}")
+        return 0
+
+    cal, cal_src = _load_model_calibration(args)
+
+    if args.suite:
+        from repro.model import validate as mv
+
+        doc = mv.validate(cal, quick=args.quick, timing=args.timing,
+                          progress=print)
+        print()
+        print(mv.render_validation(doc))
+        path = pathlib.Path(args.dir) / "MODEL_validation.json"
+        if args.write:
+            mv.save_validation(path, doc)
+            print(f"validation written to {path}")
+        if args.check:
+            if not path.is_file():
+                print(f"error: no committed validation at {path}",
+                      file=sys.stderr)
+                return 2
+            problems = mv.compare_validation(mv.load_validation(path), doc)
+            if problems:
+                print(f"\nMODEL GATE: {len(problems)} problem(s) vs {path}:")
+                for prob in problems:
+                    print(f"  {prob}")
+                return 1
+            print(f"\nmodel gate passed (vs {path})")
+        return 0 if doc["passed"] else 1
+
+    from repro.model import predict
+
+    if args.app is None:
+        print("error: an app is required unless --suite or --calibrate "
+              f"is given (choose from {', '.join(_MODEL_APPS)})",
+              file=sys.stderr)
+        return 2
+    app, kwargs, base_cfg = _resolve_app(args.app)
+    cfg = _model_config(args, base_cfg)
+    optimized = not args.unoptimized
+    pred = predict(app, kwargs, protocol=args.protocol, optimized=optimized,
+                   config=cfg, variant=args.variant, calibration=cal)
+    print(f"model: {args.app} [{args.variant}] protocol={args.protocol} "
+          f"nodes={cfg.n_nodes} block={cfg.block_size}B "
+          f"optimized={optimized}")
+    print(f"calibration: {cal_src}")
+    if args.validate:
+        from repro.bench.harness import VersionSpec, run_version
+
+        sim = run_version(
+            VersionSpec("validate", app, args.protocol, optimized, cfg,
+                        kwargs, variant=args.variant),
+            fast=True).stats
+        sim_rows = dict((name, value) for name, value in sim.summary_rows())
+        rows = []
+        for name, mval in pred.stats.summary_rows():
+            sval = sim_rows.get(name)
+            if sval in (None, 0):
+                err = "n/a" if sval is None or mval != sval else "exact"
+            else:
+                err = f"{(mval - sval) / sval:+.2%}"
+            rows.append([name, mval, sval, err])
+        print(format_table(["metric", "model", "simulated", "rel err"],
+                           rows, floatfmt=".6g"))
+    else:
+        print(format_table(["metric", "value"], pred.stats.summary_rows(),
+                           floatfmt=".6g"))
+    if args.json:
+        from repro.obs import run_stats_json
+
+        _write_json(args.json, run_stats_json(
+            pred.stats, app=args.app, variant=args.variant,
+            protocol=args.protocol, nodes=cfg.n_nodes,
+            block_size=cfg.block_size, optimized=optimized, model=True))
+        print(f"\nprediction written to {args.json}")
+    return 0
+
+
+def _parse_axes(args) -> dict:
+    """``--axis name=v1,v2,...`` flags into a sweep axes dict."""
+    from repro.bench.sweeps import SWEEP_AXES
+    from repro.util.errors import ConfigError
+
+    axes: dict[str, list] = {}
+    for spec in args.axis or []:
+        name, _, values = spec.partition("=")
+        if not values:
+            raise ConfigError(
+                f"bad --axis {spec!r}: expected name=v1,v2,...")
+        if name not in SWEEP_AXES:
+            raise ConfigError(
+                f"unknown sweep axis {name!r}; expected one of "
+                f"{', '.join(SWEEP_AXES)}")
+        if name == "protocol":
+            axes[name] = values.split(",")
+        elif name == "per_byte_cost":
+            axes[name] = [float(v) for v in values.split(",")]
+        else:
+            axes[name] = [int(v) for v in values.split(",")]
+    return axes
+
+
+def _cmd_sweep(args: argparse.Namespace) -> int:
+    """Run a machine-parameter grid, sim- or model-backed."""
+    from repro.bench.sweeps import export_grid, render_grid, sweep_grid
+
+    if args.app is None:
+        print(f"error: an app is required (choose from "
+              f"{', '.join(_MODEL_APPS)})", file=sys.stderr)
+        return 2
+    app, kwargs, base_cfg = _resolve_app(args.app)
+    cfg = _model_config(args, base_cfg)
+    axes = _parse_axes(args)
+    if not axes:
+        print("error: no sweep axes; pass at least one "
+              "--axis name=v1,v2,... "
+              "(axes: protocol, n_nodes, block_size, msg_latency, "
+              "per_byte_cost, fault_cost, handler_cost)", file=sys.stderr)
+        return 2
+    backend = "model" if args.model else "sim"
+    calibration = None
+    if backend == "model":
+        calibration, cal_src = _load_model_calibration(args)
+        print(f"calibration: {cal_src}")
+    doc = sweep_grid(
+        app, kwargs, base_config=cfg, axes=axes, backend=backend,
+        protocol=args.protocol, optimized=not args.unoptimized,
+        variant=args.variant, calibration=calibration, fast=args.fast,
+        progress=print if args.verbose else None)
+    print(render_grid(doc))
+    if args.out:
+        export_grid(args.out, doc)
+        print(f"sweep grid written to {args.out}")
+    return 0
+
+
 def _cmd_corpus_doctor(args: argparse.Namespace) -> int:
     from repro.corpus.doctor import doctor
 
@@ -813,6 +1033,85 @@ def build_parser() -> argparse.ArgumentParser:
     p = sub.add_parser("ablation", help="run a design-choice ablation")
     p.add_argument("name", choices=["coalescing", "incremental", "flush", "blocks"])
     p.set_defaults(fn=_cmd_ablation)
+
+    def add_model_options(p: argparse.ArgumentParser,
+                          default_protocol: str) -> None:
+        p.add_argument("app", nargs="?", choices=_MODEL_APPS,
+                       help="benchmark app (Figure-5/6/7 workload defaults)")
+        p.add_argument("--variant", default="cstar",
+                       help="app variant (default: cstar; e.g. spmd, splash)")
+        p.add_argument("--protocol", default=default_protocol,
+                       choices=["stache", "predictive", "write-update"])
+        p.add_argument("--nodes", type=int, default=None)
+        p.add_argument("--block-size", type=int, default=None)
+        p.add_argument("--page-size", type=int, default=None)
+        p.add_argument("--unoptimized", action="store_true",
+                       help="ignore compiler directives (the paper's "
+                            "baseline)")
+        p.add_argument("--calibration", metavar="PATH",
+                       help="calibration document to predict with (default: "
+                            "<--dir>/MODEL_calibration.json when present)")
+        p.add_argument("--uncalibrated", action="store_true",
+                       help="predict with the identity calibration even if a "
+                            "committed one exists")
+        p.add_argument("--dir", default="benchmarks",
+                       help="artifact directory (default: benchmarks)")
+
+    p = sub.add_parser(
+        "model",
+        help="predict a run's statistics in closed form (no event loop); "
+             "calibrate against, or cross-validate over, the simulator",
+    )
+    add_model_options(p, "predictive")
+    p.add_argument("--validate", action="store_true",
+                   help="also simulate the same configuration and print "
+                        "model vs. simulated side by side")
+    p.add_argument("--calibrate", action="store_true",
+                   help="fit per-protocol residual coefficients from short "
+                        "reference sims; write <--dir>/MODEL_calibration.json")
+    p.add_argument("--suite", action="store_true",
+                   help="cross-validate model vs. sim over the full "
+                        "Figure-5/6/7 matrix plus the sweep demonstration; "
+                        "exit 1 outside the committed error budgets")
+    p.add_argument("--quick", action="store_true",
+                   help="with --suite: the scaled-down CI subset")
+    p.add_argument("--timing", action="store_true",
+                   help="with --suite: record measured wall-clock seconds "
+                        "and sweep speedup under the 'measured' key (the "
+                        "one machine-dependent part of the document)")
+    p.add_argument("--write", action="store_true",
+                   help="with --suite: write <--dir>/MODEL_validation.json")
+    p.add_argument("--check", action="store_true",
+                   help="with --suite: gate the fresh run against the "
+                        "committed MODEL_validation.json; exit 1 on "
+                        "regression")
+    p.add_argument("--json", metavar="PATH",
+                   help="write the prediction (repro.run-stats/v1 JSON) "
+                        "to PATH")
+    p.set_defaults(fn=_cmd_model)
+
+    p = sub.add_parser(
+        "sweep",
+        help="run a Cartesian machine-parameter grid over an app; "
+             "--model makes it instant (closed-form, one cached walk)",
+    )
+    add_model_options(p, "stache")
+    p.add_argument("--axis", action="append", metavar="NAME=V1,V2,...",
+                   help="one grid axis (repeatable): protocol, n_nodes, "
+                        "block_size, msg_latency, per_byte_cost, "
+                        "fault_cost, handler_cost")
+    p.add_argument("--model", action="store_true",
+                   help="predict each point with repro.model instead of "
+                        "simulating it (same document shape, milliseconds "
+                        "per grid)")
+    p.add_argument("--fast", action="store_true",
+                   help="sim backend: run on the compiled fast path")
+    p.add_argument("--out", metavar="FILE",
+                   help="atomically export the grid as .json or .csv "
+                        "(sim- and model-backed grids are byte-comparable)")
+    p.add_argument("-v", "--verbose", action="store_true",
+                   help="print per-point progress")
+    p.set_defaults(fn=_cmd_sweep)
 
     p = sub.add_parser(
         "reproduce",

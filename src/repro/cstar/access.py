@@ -42,6 +42,18 @@ class Access:
     def __repr__(self) -> str:
         return f"({self.aggregate}: {self.kind.value.capitalize()} access, {'Home' if self.locality is Locality.HOME else 'Non-Home'})"
 
+    def to_dict(self) -> dict:
+        """JSON-safe form (the model/export schema for compiler summaries)."""
+        return {
+            "aggregate": self.aggregate,
+            "kind": self.kind.value,
+            "locality": self.locality.value,
+        }
+
+    @classmethod
+    def from_dict(cls, d: dict) -> "Access":
+        return cls(d["aggregate"], AccessKind(d["kind"]), Locality(d["locality"]))
+
 
 class AccessSummary:
     """The deduplicated access list of one parallel function."""
@@ -95,6 +107,19 @@ class AccessSummary:
     def is_home_only(self) -> bool:
         """True if every summarized access is a Home access."""
         return not self.unstructured()
+
+    # -- stable export (consumed by repro.model and external tooling) --------------
+
+    def to_dict(self) -> dict:
+        """Canonical JSON-safe form; iteration order is the sorted one."""
+        return {
+            "function": self.function,
+            "accesses": [a.to_dict() for a in self],
+        }
+
+    @classmethod
+    def from_dict(cls, d: dict) -> "AccessSummary":
+        return cls(d["function"], (Access.from_dict(a) for a in d["accesses"]))
 
     def __repr__(self) -> str:
         return f"<AccessSummary {self.function}: {sorted(map(repr, self._accesses))}>"

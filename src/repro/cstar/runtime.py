@@ -299,6 +299,10 @@ Body = Callable[[ElementContext], None]
 class CStarRuntime:
     """Executes data-parallel programs on a simulated machine."""
 
+    #: per-invocation context class; ``repro.model`` substitutes a recording
+    #: subclass to capture aggregate-level access streams without a machine
+    context_factory = ElementContext
+
     def __init__(self, machine: Machine):
         self.machine = machine
         self.aggregates: dict[str, Aggregate] = {}
@@ -376,7 +380,7 @@ class CStarRuntime:
         for idx in element_iter:
             idx = tuple(int(i) for i in idx)
             node = over.owner(idx)
-            ctx = ElementContext(self, idx, node, ops[node])
+            ctx = self.context_factory(self, idx, node, ops[node])
             body(ctx)
             ctx._flush_compute()
 

@@ -1,0 +1,46 @@
+"""repro.model — the analytical performance model (no event loop).
+
+The simulator answers "what happened" by replaying every message through a
+discrete-event engine; this package answers "what would happen" in closed
+form.  It consumes the same inputs the simulator does — the compiler's
+placed program, machine parameters, a protocol choice, and (optionally)
+learned communication schedules — and produces a
+:class:`~repro.sim.stats.RunStats`-shaped prediction in milliseconds, which
+is what makes ``repro sweep --model`` parameter grids instant.
+
+Pipeline (docs/MODEL.md has the derivations):
+
+1. :mod:`.recording` runs the program's *value pass* once on a machine-free
+   stand-in, capturing per-phase aggregate access streams (no timing).
+2. :mod:`.predictor` *walks* those streams against an analytical directory
+   (cost-independent: miss classes, pre-send programs, learned schedules),
+   then *assembles* cycles from any cost table — so sweeps over cost
+   parameters reuse one walk.
+3. :mod:`.calibrate` fits per-protocol residual coefficients (handler
+   contention, per-miss queueing) from a handful of short reference
+   simulations.
+4. :mod:`.validate` cross-validates model vs. simulator over the full
+   benchmark suite and gates the committed error budgets.
+"""
+
+from repro.model.calibrate import (
+    Calibration,
+    calibrate,
+    default_calibration,
+    load_calibration,
+    save_calibration,
+)
+from repro.model.predictor import ModelPrediction, predict
+from repro.model.recording import ProgramRecording, record_program
+
+__all__ = [
+    "Calibration",
+    "ModelPrediction",
+    "ProgramRecording",
+    "calibrate",
+    "default_calibration",
+    "load_calibration",
+    "predict",
+    "record_program",
+    "save_calibration",
+]

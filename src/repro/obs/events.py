@@ -93,6 +93,13 @@ class EventKind:
     # discrete-event engine
     ENGINE_RUN = "engine.run"
 
+    # analytical model (repro.model; host-side like the corpus, ``ts`` is
+    # 0.0 — predictions happen outside any simulated clock)
+    MODEL_PREDICT = "model.predict"
+    MODEL_CALIBRATE = "model.calibrate"
+    MODEL_VALIDATE = "model.validate"
+    MODEL_SWEEP = "model.sweep"
+
     # campaign farm (coordinator; ``ts`` is host seconds since farm start
     # and ``node`` is the worker id — parallel campaigns have no single
     # simulated clock to stamp)

@@ -61,6 +61,7 @@ def run_stats_json(stats: RunStats, **meta: Any) -> dict[str, Any]:
                 "misses": p.misses,
                 "hits": p.hits,
                 "messages": p.messages,
+                "cycles": dict(sorted(p.cycles.items())),
             }
             for p in stats.phases
         ],

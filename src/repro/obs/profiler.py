@@ -40,6 +40,9 @@ class PhaseProfile:
     misses: int = 0
     hits: int = 0
     messages: int = 0
+    #: per-category cycle deltas for this execution (the shared accounting
+    #: schema of ``PhaseBreakdown.cycles``; nonzero categories only)
+    cycles: dict[str, float] = field(default_factory=dict)
 
     @property
     def wall(self) -> float:
@@ -138,6 +141,7 @@ class ProfileReport:
                     "directive": p.directive, "wall": p.wall,
                     "misses": p.misses, "hits": p.hits,
                     "hit_rate": p.hit_rate, "messages": p.messages,
+                    "cycles": dict(sorted(p.cycles.items())),
                 }
                 for p in self.phases
             ],
@@ -178,6 +182,7 @@ def profile_run(stats, trace: EventTrace | Iterable[TraceEvent] | None = None
             directive=p.directive_id,
             wall_start=p.wall_start, wall_end=p.wall_end,
             misses=p.misses, hits=p.hits, messages=p.messages,
+            cycles=dict(p.cycles),
         ))
 
     if events:

@@ -95,6 +95,9 @@ def snapshot_machine(machine: "Machine") -> dict:
             "current_directive": machine.current_directive,
             "group_accessed": sorted(map(list, machine.group_accessed)),
             "phase_writes": sorted(map(list, machine.phase_writes)),
+            "phase_cycle_marks": {
+                c.value: machine._phase_cycle_marks[c] for c in TimeCategory
+            },
         },
         "engine": {
             "now": machine.engine.now,
@@ -301,6 +304,9 @@ def restore_machine(snap: dict, fast: bool = False, engine=None) -> "Machine":
     machine.group_accessed.update(tuple(p) for p in m["group_accessed"])
     machine.phase_writes.clear()
     machine.phase_writes.update(tuple(p) for p in m["phase_writes"])
+    machine._phase_cycle_marks = {
+        TimeCategory(k): v for k, v in m["phase_cycle_marks"].items()
+    }
 
     e = snap["engine"]
     machine.engine.now = e["now"]

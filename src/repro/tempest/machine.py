@@ -242,6 +242,12 @@ class Machine:
         self.stats = RunStats(config.n_nodes)
         self.nodes = [Node(i, stats=self.stats.nodes[i]) for i in range(config.n_nodes)]
         self.clock: float = 0.0  # barrier-release time of the last phase
+        #: per-category across-node cycle totals at the end of the last phase;
+        #: run_phase stores the deltas on each PhaseBreakdown so the phase
+        #: breakdowns telescope exactly to the node accumulators
+        self._phase_cycle_marks: dict[TimeCategory, float] = {
+            c: 0.0 for c in TimeCategory
+        }
         self.current_directive: int | None = None
         #: (node, block) pairs touched since the current group began
         self.group_accessed: set[tuple[int, int]] = set()
@@ -541,11 +547,27 @@ class Machine:
             misses=self.stats.misses - misses_before,
             hits=self.stats.local_hits - hits_before,
             messages=self.stats.messages - msgs_before,
+            cycles=self._phase_cycle_delta(),
         )
         self.stats.phases.append(breakdown)
         for hook in self.phase_hooks:
             hook(self, trace)
         return breakdown
+
+    def _phase_cycle_delta(self) -> dict[str, float]:
+        """Advance the per-category marks; return this phase's nonzero deltas.
+
+        Pre-send charges from an intervening ``begin_group`` are included in
+        the next phase's delta, so the breakdowns always telescope to the
+        node accumulators.
+        """
+        delta: dict[str, float] = {}
+        for c in TimeCategory:
+            total = sum(node.stats.cycles[c] for node in self.nodes)
+            if total != self._phase_cycle_marks[c]:
+                delta[c.value] = total - self._phase_cycle_marks[c]
+                self._phase_cycle_marks[c] = total
+        return delta
 
     def _arrive_barrier(self, proc: ReplayProcessor, t: float) -> None:
         if proc.node.id in self._barrier_arrivals:

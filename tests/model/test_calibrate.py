@@ -1,0 +1,70 @@
+"""Calibration document round-trips and the coefficient plumbing."""
+
+import json
+
+import pytest
+
+from repro.model import (
+    Calibration,
+    default_calibration,
+    load_calibration,
+    save_calibration,
+)
+from repro.model.calibrate import CALIBRATION_SCHEMA
+from repro.util.errors import ConfigError
+
+
+def sample():
+    return Calibration(
+        alpha={"stache": 0.0, "predictive": 0.0},
+        gamma={"stache": 1.0, "predictive": 1.0},
+        delta={"stache": 0.525, "predictive": 0.545},
+        diagnostics={"stache": {"rms_wall_err_before": 0.4,
+                                "rms_wall_err_after": 0.005}},
+    )
+
+
+class TestCalibration:
+    def test_for_protocol_defaults(self):
+        cal = sample()
+        assert cal.for_protocol("stache") == (0.0, 1.0, 0.525)
+        # unknown protocol -> the identity (raw contention, no residuals)
+        assert cal.for_protocol("write-update") == (0.0, 1.0, 0.0)
+
+    def test_default_calibration_is_identity(self):
+        cal = default_calibration()
+        for p in ("stache", "predictive", "write-update"):
+            assert cal.for_protocol(p) == (0.0, 1.0, 0.0)
+
+    def test_doc_round_trip(self):
+        cal = sample()
+        doc = cal.to_doc()
+        assert doc["schema"] == CALIBRATION_SCHEMA
+        back = Calibration.from_doc(doc)
+        assert back.alpha == cal.alpha
+        assert back.gamma == cal.gamma
+        assert back.delta == cal.delta
+        assert back.diagnostics == cal.diagnostics
+
+    def test_doc_is_json_clean(self):
+        # atomic_write_json serializes with sort_keys; must not smuggle
+        # numpy scalars or other non-JSON types
+        text = json.dumps(sample().to_doc(), sort_keys=True)
+        assert Calibration.from_doc(json.loads(text)).delta["stache"] == 0.525
+
+    def test_wrong_schema_rejected(self):
+        with pytest.raises(ConfigError):
+            Calibration.from_doc({"schema": "something-else/v9"})
+
+    def test_save_load_round_trip(self, tmp_path):
+        path = tmp_path / "sub" / "cal.json"
+        save_calibration(path, sample())  # creates the parent
+        back = load_calibration(path)
+        assert back.delta == sample().delta
+
+    def test_saved_bytes_stable(self, tmp_path):
+        a, b = tmp_path / "a.json", tmp_path / "b.json"
+        save_calibration(a, sample())
+        save_calibration(b, sample())
+        assert a.read_bytes() == b.read_bytes()
+        assert a.read_bytes().endswith(b"\n")

@@ -1,0 +1,135 @@
+"""The analytical model against the simulator on small workloads."""
+
+import pytest
+
+from repro.apps import barnes, water
+from repro.bench.harness import VersionSpec, run_version
+from repro.model import predict
+from repro.model.predictor import clear_walk_cache
+from repro.sim.stats import TimeCategory
+from repro.util import MachineConfig
+from repro.util.errors import ConfigError
+
+# tiny but steal-free configurations: the walk reproduces the simulator's
+# counters exactly (coarse blocks with mid-phase ping-pong would not be)
+TINY = dict(n=24, iterations=2, work_scale=8.0)
+CFG = MachineConfig(n_nodes=4, page_size=512)
+# write-update needs producer-owned data: the SPMD Barnes variant
+TINY_SPMD = dict(n=24, iterations=2, theta=0.6, dt=0.15, vel_scale=1.0,
+                 work_scale=5.0)
+CFG_SPMD = MachineConfig(n_nodes=4, page_size=1024, per_byte_cost=1.15)
+
+
+def sim_stats(protocol="stache", optimized=False, variant="cstar", cfg=CFG,
+              app=water, kw=TINY):
+    spec = VersionSpec("v", app, protocol, optimized, cfg, dict(kw),
+                       variant=variant)
+    return run_version(spec).stats
+
+
+class TestExactCounters:
+    """On fine-grain workloads the walk reproduces the sim's counters."""
+
+    @pytest.mark.parametrize("app,kw,cfg,variant,protocol,optimized", [
+        (water, TINY, CFG, "cstar", "stache", False),
+        (water, TINY, CFG, "cstar", "predictive", True),
+        (barnes, TINY_SPMD, CFG_SPMD, "spmd", "write-update", False),
+    ])
+    def test_counts_match_sim(self, app, kw, cfg, variant, protocol,
+                              optimized):
+        sim = sim_stats(protocol, optimized, variant, cfg, app, kw)
+        pred = predict(app, dict(kw), protocol=protocol,
+                       optimized=optimized, config=cfg,
+                       variant=variant).stats
+        assert pred.misses == sim.misses
+        assert pred.local_hits == sim.local_hits
+        assert pred.messages == sim.messages
+        assert pred.bytes_on_wire == sim.bytes_on_wire
+
+    def test_presend_counts_exact(self):
+        sim = sim_stats("predictive", True)
+        pred = predict(water, dict(TINY), protocol="predictive",
+                       optimized=True, config=CFG).stats
+        for attr in ("presend_blocks_sent", "presend_blocks_received",
+                     "presend_useless_blocks"):
+            assert ([getattr(n, attr) for n in pred.nodes]
+                    == [getattr(n, attr) for n in sim.nodes]), attr
+
+    def test_compute_cycles_exact(self):
+        sim = sim_stats("stache", False)
+        pred = predict(water, dict(TINY), protocol="stache",
+                       optimized=False, config=CFG).stats
+        assert pred.totals()[TimeCategory.COMPUTE] == pytest.approx(
+            sim.totals()[TimeCategory.COMPUTE])
+
+    def test_wall_time_close(self):
+        for protocol, optimized in [("stache", False), ("predictive", True)]:
+            sim = sim_stats(protocol, optimized)
+            pred = predict(water, dict(TINY), protocol=protocol,
+                           optimized=optimized, config=CFG).stats
+            assert pred.wall_time == pytest.approx(sim.wall_time, rel=0.10)
+
+
+class TestPredictionShape:
+    def test_conservation_holds(self):
+        pred = predict(water, dict(TINY), protocol="predictive",
+                       optimized=True, config=CFG).stats
+        pred.check_conservation()
+        pred.check_phase_conservation()
+
+    def test_phase_sequence_matches_sim(self):
+        sim = sim_stats("stache", False)
+        pred = predict(water, dict(TINY), protocol="stache",
+                       optimized=False, config=CFG).stats
+        assert ([p.phase_name for p in pred.phases]
+                == [p.phase_name for p in sim.phases])
+
+    def test_unknown_protocol_rejected(self):
+        with pytest.raises(ConfigError):
+            predict(water, dict(TINY), protocol="mesi", optimized=False,
+                    config=CFG)
+
+    def test_deterministic(self):
+        kw = dict(protocol="predictive", optimized=True, config=CFG)
+        a = predict(water, dict(TINY), **kw).stats
+        b = predict(water, dict(TINY), **kw).stats
+        assert a.to_dict() == b.to_dict()
+
+
+class TestWalkCache:
+    """Cost-axis sweeps reuse one walk: only cost parameters change."""
+
+    def test_cost_axes_hit_the_cache(self):
+        clear_walk_cache()
+        first = predict(water, dict(TINY), protocol="stache",
+                        optimized=False, config=CFG)
+        assert not first.walk_cached
+        again = predict(water, dict(TINY), protocol="stache",
+                        optimized=False,
+                        config=CFG.with_(msg_latency=4000, fault_cost=50))
+        assert again.walk_cached
+
+    def test_block_size_changes_miss_the_cache(self):
+        clear_walk_cache()
+        predict(water, dict(TINY), protocol="stache", optimized=False,
+                config=CFG)
+        other = predict(water, dict(TINY), protocol="stache",
+                        optimized=False, config=CFG.with_(block_size=64))
+        assert not other.walk_cached
+
+    def test_cached_walk_same_prediction(self):
+        clear_walk_cache()
+        cold = predict(water, dict(TINY), protocol="predictive",
+                       optimized=True, config=CFG).stats
+        warm = predict(water, dict(TINY), protocol="predictive",
+                       optimized=True, config=CFG).stats
+        assert cold.to_dict() == warm.to_dict()
+
+    def test_cost_change_actually_changes_cycles(self):
+        base = predict(water, dict(TINY), protocol="stache",
+                       optimized=False, config=CFG).stats
+        slow = predict(water, dict(TINY), protocol="stache",
+                       optimized=False,
+                       config=CFG.with_(msg_latency=4000)).stats
+        assert slow.wall_time > base.wall_time
+        assert slow.misses == base.misses  # counts are cost-independent

@@ -1,0 +1,117 @@
+"""Structured sweep grids: sim/model shape parity and atomic export."""
+
+import csv
+import json
+
+import pytest
+
+from repro.apps import water
+from repro.bench.sweeps import (
+    GRID_COLUMNS,
+    SWEEP_AXES,
+    SWEEP_SCHEMA,
+    _grid_points,
+    export_grid,
+    render_grid,
+    sweep_grid,
+)
+from repro.util import MachineConfig
+from repro.util.errors import ConfigError
+
+TINY = dict(n=24, iterations=2, work_scale=8.0)
+CFG = MachineConfig(n_nodes=4, page_size=512)
+AXES = {"msg_latency": [500, 1000], "fault_cost": [50, 100]}
+
+
+def grid(backend, axes=AXES, **kwargs):
+    return sweep_grid(water, TINY, base_config=CFG, axes=axes,
+                      backend=backend, protocol="stache", **kwargs)
+
+
+class TestGridPoints:
+    def test_canonical_axis_order(self):
+        # given out of canonical order, points still come out canonical
+        points = _grid_points({"fault_cost": [1], "protocol": ["stache"]})
+        assert list(points[0]) == ["protocol", "fault_cost"]
+
+    def test_cartesian_product(self):
+        assert len(_grid_points(AXES)) == 4
+
+    def test_unknown_axis_rejected(self):
+        with pytest.raises(ConfigError):
+            _grid_points({"page_size": [512]})
+
+    def test_empty_axis_rejected(self):
+        with pytest.raises(ConfigError):
+            _grid_points({"msg_latency": []})
+
+
+class TestBackendParity:
+    def test_same_document_shape(self):
+        sim = grid("sim")
+        model = grid("model")
+        assert sim["schema"] == model["schema"] == SWEEP_SCHEMA
+        assert sim["axes"] == model["axes"]
+        assert sim["columns"] == model["columns"] == list(GRID_COLUMNS)
+        assert len(sim["rows"]) == len(model["rows"])
+        for srow, mrow in zip(sim["rows"], model["rows"]):
+            assert list(srow) == list(mrow)  # same keys, same order
+            for axis in AXES:
+                assert srow[axis] == mrow[axis]
+
+    def test_counts_agree_on_fine_grain(self):
+        sim = grid("sim")
+        model = grid("model")
+        for srow, mrow in zip(sim["rows"], model["rows"]):
+            assert srow["misses"] == mrow["misses"]
+            assert srow["messages"] == mrow["messages"]
+
+    def test_unknown_backend_rejected(self):
+        with pytest.raises(ConfigError):
+            grid("quantum")
+
+    def test_protocol_axis_overrides_default(self):
+        doc = grid("model", axes={"protocol": ["stache", "predictive"]})
+        assert [r["protocol"] for r in doc["rows"]] == ["stache",
+                                                        "predictive"]
+
+    def test_model_grid_deterministic(self):
+        a, b = grid("model"), grid("model")
+        assert json.dumps(a, sort_keys=True) == json.dumps(b, sort_keys=True)
+
+
+class TestExport:
+    def test_json_export(self, tmp_path):
+        doc = grid("model")
+        out = tmp_path / "grid.json"
+        export_grid(out, doc)
+        assert json.loads(out.read_text()) == doc
+
+    def test_csv_export(self, tmp_path):
+        doc = grid("model")
+        out = tmp_path / "grid.csv"
+        export_grid(out, doc)
+        with out.open() as fh:
+            rows = list(csv.reader(fh))
+        assert rows[0] == list(AXES) + list(GRID_COLUMNS)
+        assert len(rows) == 1 + len(doc["rows"])
+        assert rows[1][0] == "500"  # first msg_latency value
+
+    def test_unknown_format_rejected(self, tmp_path):
+        with pytest.raises(ConfigError):
+            export_grid(tmp_path / "grid.xlsx", grid("model"))
+
+    def test_render_mentions_every_point(self):
+        doc = grid("model")
+        text = render_grid(doc)
+        assert "4 points" in text
+        assert "wall_time" in text
+
+
+class TestAxesRegistry:
+    def test_all_axes_are_config_fields_or_protocol(self):
+        from dataclasses import fields
+
+        names = {f.name for f in fields(MachineConfig)}
+        for axis in SWEEP_AXES:
+            assert axis == "protocol" or axis in names

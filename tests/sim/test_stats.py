@@ -69,3 +69,39 @@ class TestRunStats:
         rows = self.make().summary_rows()
         assert any("wall time" in r[0] for r in rows)
         assert all(len(r) == 2 for r in rows)
+
+
+class TestPhaseBreakdownRoundTrip:
+    def make(self):
+        from repro.sim.stats import PhaseBreakdown
+
+        return PhaseBreakdown(
+            phase_name="sweep", directive_id=3, wall_start=10.0,
+            wall_end=250.0, misses=4, hits=96, messages=12,
+            cycles={"compute": 180.0, "remote_wait": 50.0, "synch": 10.0},
+        )
+
+    def test_to_from_dict(self):
+        from repro.sim.stats import PhaseBreakdown
+
+        ph = self.make()
+        back = PhaseBreakdown.from_dict(ph.to_dict())
+        assert back == ph
+        assert back.cycles == ph.cycles
+        assert back.wall == pytest.approx(240.0)
+
+    def test_run_stats_round_trip_keeps_phases(self):
+        rs = RunStats(1)
+        rs.wall_time = 250.0
+        rs.nodes[0].add(TimeCategory.COMPUTE, 250.0)
+        rs.phases.append(self.make())
+        back = RunStats.from_dict(rs.to_dict())
+        assert len(back.phases) == 1
+        assert back.phases[0] == rs.phases[0]
+        assert back.phase_category_totals() == rs.phase_category_totals()
+
+    def test_json_serializable(self):
+        import json
+
+        text = json.dumps(self.make().to_dict(), sort_keys=True)
+        assert "remote_wait" in text

@@ -213,3 +213,71 @@ class TestFaultsObservability:
             json.loads(trace_path.read_text())) == []
         reg = MetricsRegistry.from_dict(json.loads(metrics_path.read_text()))
         assert "node.cycles" in reg.names()
+
+
+class TestModelCommand:
+    def test_predict_prints_summary(self, capsys):
+        assert main(["model", "adaptive", "--uncalibrated"]) == 0
+        out = capsys.readouterr().out
+        assert "wall time" in out
+        assert "calibration: identity" in out
+
+    def test_requires_app_without_suite(self, capsys):
+        assert main(["model", "--uncalibrated"]) == 2
+        assert "app is required" in capsys.readouterr().err
+
+    def test_validate_side_by_side(self, capsys):
+        assert main(["model", "adaptive", "--uncalibrated",
+                     "--validate"]) == 0
+        out = capsys.readouterr().out
+        assert "simulated" in out
+        assert "rel err" in out
+
+    def test_json_output(self, tmp_path, capsys):
+        out_path = tmp_path / "pred.json"
+        assert main(["model", "adaptive", "--uncalibrated",
+                     "--json", str(out_path)]) == 0
+        doc = json.loads(out_path.read_text())
+        assert doc["run"]["model"] is True
+        assert doc["wall_time"] > 0
+
+    def test_missing_calibration_file_errors(self, capsys):
+        assert main(["model", "adaptive",
+                     "--calibration", "/nonexistent.json"]) == 1
+        assert "error" in capsys.readouterr().err
+
+
+class TestSweepCommand:
+    def test_model_backed_grid(self, tmp_path, capsys):
+        out_path = tmp_path / "grid.csv"
+        assert main(["sweep", "adaptive", "--model", "--uncalibrated",
+                     "--axis", "msg_latency=500,1000",
+                     "--out", str(out_path)]) == 0
+        out = capsys.readouterr().out
+        assert "2 points" in out
+        lines = out_path.read_text().splitlines()
+        assert lines[0].startswith("msg_latency,")
+        assert len(lines) == 3
+
+    def test_json_export_round_trips(self, tmp_path):
+        out_path = tmp_path / "grid.json"
+        assert main(["sweep", "adaptive", "--model", "--uncalibrated",
+                     "--axis", "block_size=32,64",
+                     "--out", str(out_path)]) == 0
+        doc = json.loads(out_path.read_text())
+        assert doc["schema"] == "repro.sweep/v1"
+        assert [r["block_size"] for r in doc["rows"]] == [32, 64]
+
+    def test_requires_axes(self, capsys):
+        assert main(["sweep", "adaptive", "--model"]) == 2
+        assert "no sweep axes" in capsys.readouterr().err
+
+    def test_bad_axis_rejected(self, capsys):
+        assert main(["sweep", "adaptive", "--model",
+                     "--axis", "page_size=512"]) == 1
+        assert "error" in capsys.readouterr().err
+
+    def test_requires_app(self, capsys):
+        assert main(["sweep", "--model",
+                     "--axis", "msg_latency=500"]) == 2
+        assert "app is required" in capsys.readouterr().err
